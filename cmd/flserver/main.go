@@ -1,0 +1,72 @@
+// Command flserver runs the FedAvg coordination server of a multi-process
+// CIP federation over TCP: it waits for -clients connections, runs -rounds
+// communication rounds, and writes the final global model artifact.
+// Clients connect with cmd/flclient.
+//
+// Usage (three terminals):
+//
+//	flserver -addr :9000 -clients 2 -rounds 20 -dataset chmnist -out global.gob
+//	flclient -addr localhost:9000 -id 0 -of 2 -dataset chmnist -alpha 0.9
+//	flclient -addr localhost:9000 -id 1 -of 2 -dataset chmnist -alpha 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl/transport"
+	"github.com/cip-fl/cip/internal/flcli"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9000", "listen address")
+	clients := flag.Int("clients", 2, "number of clients to wait for")
+	rounds := flag.Int("rounds", 20, "communication rounds")
+	dataset := flag.String("dataset", "chmnist", "preset (determines the model shape)")
+	scaleName := flag.String("preset", "quick", "scale: quick or full")
+	seed := flag.Int64("seed", 1, "model-initialization seed (must match clients)")
+	out := flag.String("out", "global.gob", "write the final global parameters here")
+	flag.Parse()
+
+	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
+	if err != nil {
+		return err
+	}
+	d, err := datasets.Load(p, scale, *seed)
+	if err != nil {
+		return err
+	}
+	arch := flcli.ArchFor(p)
+	dual := core.NewDualChannelModel(rand.New(rand.NewSource(*seed+1)), arch,
+		d.Train.In, d.Train.NumClasses)
+
+	coord := &transport.Coordinator{
+		NumClients: *clients,
+		Rounds:     *rounds,
+		Initial:    nn.FlattenParams(dual.Params()),
+	}
+	fmt.Printf("waiting for %d clients, %d rounds...\n", *clients, *rounds)
+	global, err := coord.ListenAndRun(*addr, func(a string) {
+		fmt.Printf("listening on %s\n", a)
+	})
+	if err != nil {
+		return err
+	}
+	if err := flcli.SaveGlobal(*out, p, scale, *seed, arch, global); err != nil {
+		return err
+	}
+	fmt.Printf("federation complete; global model saved to %s\n", *out)
+	return nil
+}

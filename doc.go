@@ -1,0 +1,12 @@
+// Package cip is a from-scratch Go reproduction of "Fortifying Federated
+// Learning against Membership Inference Attacks via Client-level Input
+// Perturbation" (DSN 2023).
+//
+// The implementation lives under internal/: the numeric stack (tensor,
+// nn, model), the federated-learning substrate (fl, fl/transport), the
+// CIP defense itself (core), the attack suite (attacks), the baseline
+// defenses (defenses), and the experiment harness that regenerates every
+// table and figure of the paper (experiments). Executables are under cmd/
+// and runnable walkthroughs under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package cip

@@ -1,0 +1,132 @@
+// Medical: the paper's motivating scenario — hospitals collaboratively
+// training a histology classifier (the CH-MNIST regime) must not let an
+// adversary infer whether a given patient's image was in a hospital's
+// training data (a HIPAA violation). Three hospitals federate with CIP;
+// we compare the Pb-Bayes white-box attack against the undefended and the
+// CIP-defended federation.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/attacks"
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+const (
+	hospitals = 3
+	rounds    = 40
+	seed      = 7
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	d, err := datasets.Load(datasets.CHMNIST, datasets.Quick, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %d hospitals, %s histology data (%d tissue classes)\n",
+		hospitals, d.Name, d.Train.NumClasses)
+
+	// Hospitals specialize: each sees only some tissue classes (non-iid).
+	rng := rand.New(rand.NewSource(seed))
+	shards := datasets.PartitionByClass(d.Train, hospitals, 5, rng)
+
+	// Shadow machinery for the white-box attack.
+	targetTest, shadowTest := d.Test.Split(d.Test.Len() / 2)
+	build := func() nn.Layer {
+		return model.NewClassifier(rand.New(rand.NewSource(seed+1)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+	}
+	shadow, err := attacks.TrainShadow(build, shards[hospitals-1], shadowTest,
+		rounds, 0.05, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		return err
+	}
+	members, nonMembers := datasets.MembershipSplit(shards[0], targetTest, 80,
+		rand.New(rand.NewSource(seed+3)))
+	attackRNG := rand.New(rand.NewSource(seed + 4))
+
+	// --- Undefended federation. ---
+	var legacy []fl.Client
+	var initial []float64
+	for i := 0; i < hospitals; i++ {
+		net := build()
+		if initial == nil {
+			initial = nn.FlattenParams(net.Params())
+		}
+		legacy = append(legacy, fl.NewLegacyClient(i, net, shards[i].Clone(), fl.ClientConfig{
+			BatchSize: 16, LR: fl.DecaySchedule(0.04, rounds), Momentum: 0.9,
+		}, nil, rand.New(rand.NewSource(seed+int64(10+i)))))
+	}
+	srv := fl.NewServer(initial, legacy...)
+	if err := srv.Run(rounds); err != nil {
+		return err
+	}
+	legacyNet := build()
+	if err := nn.SetFlatParams(legacyNet.Params(), srv.Global()); err != nil {
+		return err
+	}
+	legacyAttack := attacks.PbBayes(legacyNet, members, nonMembers, shadow, attackRNG)
+	fmt.Printf("\nno defense: test accuracy %.3f, Pb-Bayes attack accuracy %.3f\n",
+		fl.Evaluate(legacyNet, targetTest, 64), legacyAttack.Accuracy())
+
+	// --- CIP federation. ---
+	cfg := core.TrainConfig{
+		Alpha: 0.9, LambdaT: 1e-6, LambdaM: 0.3, PerturbLR: 0.02,
+		BatchSize: 16, LR: fl.DecaySchedule(0.04, rounds), Momentum: 0.9,
+	}
+	var cips []fl.Client
+	var hospitalClients []*core.Client
+	initial = nil
+	for i := 0; i < hospitals; i++ {
+		dual := core.NewDualChannelModel(rand.New(rand.NewSource(seed+1)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+		if initial == nil {
+			initial = nn.FlattenParams(dual.Params())
+		}
+		c := core.NewClient(i, dual, shards[i], cfg, core.BlendSeed(seed, i),
+			rand.New(rand.NewSource(seed+int64(20+i))))
+		cips = append(cips, c)
+		hospitalClients = append(hospitalClients, c)
+	}
+	srv = fl.NewServer(initial, cips...)
+	if err := srv.Run(rounds); err != nil {
+		return err
+	}
+
+	evalDual := core.NewDualChannelModel(rand.New(rand.NewSource(seed+1)), model.VGG,
+		d.Train.In, d.Train.NumClasses)
+	if err := nn.SetFlatParams(evalDual.Params(), srv.Global()); err != nil {
+		return err
+	}
+	var acc float64
+	for _, h := range hospitalClients {
+		m := core.NewCIPModel(evalDual, h.Perturbation().T, cfg.Alpha)
+		acc += fl.Evaluate(m, targetTest, 64)
+	}
+	acc /= hospitals
+
+	// The attacker queries the global model without hospital 0's secret t.
+	probe := core.NewCIPModel(evalDual, hospitalClients[0].Perturbation().T, cfg.Alpha)
+	probe = probe.WithT(probe.ZeroT())
+	cipAttack := attacks.PbBayes(probe, members, nonMembers, shadow, attackRNG)
+	fmt.Printf("with CIP:   test accuracy %.3f, Pb-Bayes attack accuracy %.3f\n",
+		acc, cipAttack.Accuracy())
+	fmt.Println("\nCIP pushes the white-box attack to random guessing; at this miniature")
+	fmt.Println("scale it costs some diagnostic accuracy (the gap closes with training).")
+	return nil
+}

@@ -1,0 +1,179 @@
+// Non-iid: the paper's RQ2 scenario — CIP not only defends, its
+// personalized perturbations mitigate client heterogeneity. This example
+// sweeps the data distribution from non-iid to iid and prints the global
+// accuracy of CIP, undefended FL, and non-collaborative local training,
+// plus the EMD between clients' training-loss trajectories (paper Fig. 7).
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/metrics"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+const (
+	numClients = 4
+	rounds     = 20
+	seed       = 21
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	d, err := datasets.Load(datasets.CIFAR100, datasets.Quick, seed)
+	if err != nil {
+		return err
+	}
+	total := d.Train.NumClasses
+	fmt.Printf("%-18s  %-10s  %-10s  %-10s  %s\n",
+		"classes/client", "CIP", "no defense", "local", "EMD(cip/nodef)")
+
+	for _, ncc := range []int{total / 5, total / 2, total} {
+		cipAcc, cipEMD, err := runCIPFed(d, ncc)
+		if err != nil {
+			return err
+		}
+		nodefAcc, nodefEMD, err := runLegacyFed(d, ncc)
+		if err != nil {
+			return err
+		}
+		localAcc, err := runLocal(d, ncc)
+		if err != nil {
+			return err
+		}
+		tag := fmt.Sprintf("%d", ncc)
+		if ncc == total {
+			tag += " (iid)"
+		}
+		fmt.Printf("%-18s  %-10.3f  %-10.3f  %-10.3f  %.3f / %.3f\n",
+			tag, cipAcc, nodefAcc, localAcc, cipEMD, nodefEMD)
+	}
+	fmt.Println("\nReading the table: local training only wins in the extreme non-iid")
+	fmt.Println("corner where each client's task is trivially small; as the distribution")
+	fmt.Println("approaches iid, federation dominates and local training collapses.")
+	fmt.Println("CIP tracks the undefended federation's accuracy while its personalized")
+	fmt.Println("perturbations pull client loss distributions together (lower EMD).")
+	return nil
+}
+
+func runCIPFed(d *datasets.Data, ncc int) (acc, emd float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	shards := datasets.PartitionByClass(d.Train, numClients, ncc, rng)
+	cfg := core.TrainConfig{
+		Alpha: 0.3, LambdaT: 1e-6, LambdaM: 0.3, PerturbLR: 0.02,
+		BatchSize: 16, LR: fl.DecaySchedule(0.04, rounds), Momentum: 0.9,
+	}
+	var clients []fl.Client
+	var cips []*core.Client
+	var initial []float64
+	for i := 0; i < numClients; i++ {
+		dual := core.NewDualChannelModel(rand.New(rand.NewSource(seed+1)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+		if initial == nil {
+			initial = nn.FlattenParams(dual.Params())
+		}
+		c := core.NewClient(i, dual, shards[i], cfg, core.BlendSeed(seed, i),
+			rand.New(rand.NewSource(seed+int64(10+i))))
+		clients = append(clients, c)
+		cips = append(cips, c)
+	}
+	rec := &fl.HistoryRecorder{}
+	srv := fl.NewServer(initial, clients...)
+	srv.Observers = append(srv.Observers, rec)
+	if err := srv.Run(rounds); err != nil {
+		return 0, 0, err
+	}
+	evalDual := core.NewDualChannelModel(rand.New(rand.NewSource(seed+1)), model.VGG,
+		d.Train.In, d.Train.NumClasses)
+	if err := nn.SetFlatParams(evalDual.Params(), srv.Global()); err != nil {
+		return 0, 0, err
+	}
+	for _, c := range cips {
+		m := core.NewCIPModel(evalDual, c.Perturbation().T, cfg.Alpha)
+		acc += fl.Evaluate(m, d.Test, 64) / numClients
+	}
+	return acc, lossEMD(rec), nil
+}
+
+func runLegacyFed(d *datasets.Data, ncc int) (acc, emd float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	shards := datasets.PartitionByClass(d.Train, numClients, ncc, rng)
+	build := func() nn.Layer {
+		return model.NewClassifier(rand.New(rand.NewSource(seed+1)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+	}
+	var clients []fl.Client
+	var initial []float64
+	for i := 0; i < numClients; i++ {
+		net := build()
+		if initial == nil {
+			initial = nn.FlattenParams(net.Params())
+		}
+		clients = append(clients, fl.NewLegacyClient(i, net, shards[i], fl.ClientConfig{
+			BatchSize: 16, LR: fl.DecaySchedule(0.04, rounds), Momentum: 0.9,
+		}, nil, rand.New(rand.NewSource(seed+int64(10+i)))))
+	}
+	rec := &fl.HistoryRecorder{}
+	srv := fl.NewServer(initial, clients...)
+	srv.Observers = append(srv.Observers, rec)
+	if err := srv.Run(rounds); err != nil {
+		return 0, 0, err
+	}
+	net := build()
+	if err := nn.SetFlatParams(net.Params(), srv.Global()); err != nil {
+		return 0, 0, err
+	}
+	return fl.Evaluate(net, d.Test, 64), lossEMD(rec), nil
+}
+
+func runLocal(d *datasets.Data, ncc int) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	shards := datasets.PartitionByClass(d.Train, numClients, ncc, rng)
+	var acc float64
+	for i, shard := range shards {
+		net := model.NewClassifier(rand.New(rand.NewSource(seed+1)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+		opt := &nn.SGD{LR: 0.05, Momentum: 0.9}
+		crng := rand.New(rand.NewSource(seed + int64(30+i)))
+		for e := 0; e < rounds; e++ {
+			if _, err := fl.TrainEpochs(net, opt, nil, shard,
+				fl.ClientConfig{BatchSize: 16}, crng); err != nil {
+				return 0, err
+			}
+		}
+		// Each client is graded on its own classes only.
+		owned := map[int]bool{}
+		for _, y := range shard.Y {
+			owned[y] = true
+		}
+		var idx []int
+		for j, y := range d.Test.Y {
+			if owned[y] {
+				idx = append(idx, j)
+			}
+		}
+		acc += fl.Evaluate(net, d.Test.Subset(idx), 64) / numClients
+	}
+	return acc, nil
+}
+
+func lossEMD(rec *fl.HistoryRecorder) float64 {
+	series := make([][]float64, numClients)
+	for i := range series {
+		series[i] = rec.ClientLossSeries(i)
+	}
+	return metrics.MeanPairwiseEMD(series)
+}

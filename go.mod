@@ -1,0 +1,3 @@
+module github.com/cip-fl/cip
+
+go 1.22

@@ -1,0 +1,94 @@
+package attacks
+
+import (
+	"math"
+)
+
+// Logistic is a tiny binary logistic-regression classifier used as the
+// attack model head by Pb-Bayes and the internal passive attack. Features
+// are standardized internally (fit on the training set).
+type Logistic struct {
+	W    []float64
+	B    float64
+	mean []float64
+	std  []float64
+}
+
+// FitLogistic trains a logistic regression with gradient descent.
+func FitLogistic(features [][]float64, labels []bool, epochs int, lr float64) *Logistic {
+	if len(features) == 0 {
+		return &Logistic{}
+	}
+	d := len(features[0])
+	m := &Logistic{W: make([]float64, d), mean: make([]float64, d), std: make([]float64, d)}
+
+	// Standardize.
+	n := float64(len(features))
+	for j := 0; j < d; j++ {
+		for _, f := range features {
+			m.mean[j] += f[j]
+		}
+		m.mean[j] /= n
+		for _, f := range features {
+			diff := f[j] - m.mean[j]
+			m.std[j] += diff * diff
+		}
+		m.std[j] = math.Sqrt(m.std[j]/n) + 1e-8
+	}
+	std := make([][]float64, len(features))
+	for i, f := range features {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = (f[j] - m.mean[j]) / m.std[j]
+		}
+		std[i] = row
+	}
+
+	if epochs <= 0 {
+		epochs = 200
+	}
+	if lr <= 0 {
+		lr = 0.1
+	}
+	for e := 0; e < epochs; e++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for i, f := range std {
+			p := m.predictStd(f)
+			t := 0.0
+			if labels[i] {
+				t = 1
+			}
+			diff := p - t
+			for j := range gw {
+				gw[j] += diff * f[j]
+			}
+			gb += diff
+		}
+		for j := range m.W {
+			m.W[j] -= lr * gw[j] / n
+		}
+		m.B -= lr * gb / n
+	}
+	return m
+}
+
+func (m *Logistic) predictStd(f []float64) float64 {
+	z := m.B
+	for j, w := range m.W {
+		z += w * f[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict returns the membership probability for a raw feature vector.
+func (m *Logistic) Predict(f []float64) float64 {
+	if len(m.W) == 0 {
+		return 0.5
+	}
+	std := make([]float64, len(f))
+	for j := range f {
+		std[j] = (f[j] - m.mean[j]) / m.std[j]
+	}
+	return m.predictStd(std)
+}

@@ -1,0 +1,37 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+// ShadowBundle is an attacker-trained stand-in for the target model: a
+// model trained on data the attacker controls, with known member and
+// non-member sets. Shadow-based attacks (Ob-NN, Pb-Bayes) fit their attack
+// model on a shadow bundle and transfer it to the target.
+type ShadowBundle struct {
+	Net        nn.Layer
+	Members    *datasets.Dataset
+	NonMembers *datasets.Dataset
+}
+
+// TrainShadow trains a shadow model: build constructs an architecture
+// matching the target's, shadowTrain becomes the shadow member set and
+// shadowTest the shadow non-member set.
+func TrainShadow(build func() nn.Layer, shadowTrain, shadowTest *datasets.Dataset,
+	epochs int, lr float64, rng *rand.Rand) (ShadowBundle, error) {
+	net := build()
+	opt := &nn.SGD{LR: lr, Momentum: 0.9}
+	cfg := fl.ClientConfig{BatchSize: 32}
+	train := shadowTrain.Clone()
+	for e := 0; e < epochs; e++ {
+		if _, err := fl.TrainEpochs(net, opt, nil, train, cfg, rng); err != nil {
+			return ShadowBundle{}, fmt.Errorf("attacks: shadow training epoch %d: %w", e, err)
+		}
+	}
+	return ShadowBundle{Net: net, Members: shadowTrain, NonMembers: shadowTest}, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+func TestSingleChannelModelShapes(t *testing.T) {
+	in := model.Input{C: 2, H: 6, W: 6}
+	single := NewSingleChannelModel(rand.New(rand.NewSource(1)), model.VGG, in, 5)
+	x1 := tensor.New(3, 2, 6, 6)
+	x2 := tensor.New(3, 2, 6, 6)
+	logits, cache := single.Forward(x1, x2, false)
+	if logits.Shape[0] != 3 || logits.Shape[1] != 5 {
+		t.Fatalf("single-channel logits shape = %v, want [3 5]", logits.Shape)
+	}
+	grad := tensor.New(3, 5)
+	grad.Fill(0.1)
+	g1, g2 := single.Backward(cache, grad)
+	if !g1.SameShape(x1) {
+		t.Fatalf("g1 shape %v, want %v", g1.Shape, x1.Shape)
+	}
+	if g2.L2Norm() != 0 {
+		t.Fatal("single-channel g2 must be zero (channel 2 unused)")
+	}
+}
+
+func TestSingleChannelHeadSmaller(t *testing.T) {
+	in := model.Input{C: 2, H: 6, W: 6}
+	dual := NewDualChannelModel(rand.New(rand.NewSource(1)), model.VGG, in, 5)
+	single := NewSingleChannelModel(rand.New(rand.NewSource(1)), model.VGG, in, 5)
+	if single.NumParams() >= dual.NumParams() {
+		t.Fatalf("single-channel params (%d) should be fewer than dual (%d)",
+			single.NumParams(), dual.NumParams())
+	}
+}
+
+func TestSingleChannelCIPModelGradCheck(t *testing.T) {
+	single := NewSingleChannelModel(rand.New(rand.NewSource(2)), model.VGG,
+		model.Input{C: 2, H: 6, W: 6}, 3)
+	pert := NewPerturbation(7, []int{2, 6, 6}, 0.3, 0.7)
+	m := NewCIPModel(single, pert.T, 0.4)
+	x := tensor.New(2, 2, 6, 6)
+	x.RandUniform(rand.New(rand.NewSource(3)), 0.35, 0.65)
+	if rel := nn.GradCheck(m, x, []int{0, 2}, 131); rel > 1e-3 {
+		t.Fatalf("single-channel CIP grad check max relative error %v", rel)
+	}
+}
+
+func TestSingleChannelTrains(t *testing.T) {
+	train, _ := testData(t, 9)
+	single := NewSingleChannelModel(rand.New(rand.NewSource(4)), model.VGG,
+		train.In, train.NumClasses)
+	pert := NewPerturbation(5, []int{2, 6, 6}, 0, 1)
+	m := NewCIPModel(single, pert.T, 0.5)
+	cfg := TrainConfig{Alpha: 0.5, BatchSize: 16, LambdaM: 0.02}
+	opt := &nn.SGD{LR: 0.05, Momentum: 0.9}
+	rng := rand.New(rand.NewSource(6))
+	first := StepIILearnModel(m, train, cfg, opt, rng)
+	var last float64
+	for i := 0; i < 12; i++ {
+		last = StepIILearnModel(m, train, cfg, opt, rng)
+	}
+	if last >= first {
+		t.Fatalf("single-channel Step II failed to learn: %v -> %v", first, last)
+	}
+}
+
+// TestTheorem1Empirical validates Theorem 1 on a trained CIP model: for
+// the overwhelming majority of member samples, the loss under the TRUE
+// perturbation is at most the loss under a GUESSED one (training minimized
+// the former), which is exactly the theorem's premise, and then the
+// advantage ratio ε = exp(−(l(t′) − l(t))/T) is ≤ 1.
+func TestTheorem1Empirical(t *testing.T) {
+	train, _ := testData(t, 10)
+	dual := NewDualChannelModel(rand.New(rand.NewSource(11)), model.VGG,
+		train.In, train.NumClasses)
+	pert := NewPerturbation(12, []int{2, 6, 6}, 0, 1)
+	m := NewCIPModel(dual, pert.T, 0.7)
+	cfg := TrainConfig{Alpha: 0.7, LambdaT: 1e-6, LambdaM: 0.3, PerturbLR: 0.02, BatchSize: 16}
+	opt := &nn.SGD{LR: 0.05, Momentum: 0.9}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 25; i++ {
+		StepIGeneratePerturbation(m, train, cfg, rng)
+		StepIILearnModel(m, train, cfg, opt, rng)
+	}
+
+	guess := NewPerturbation(999, []int{2, 6, 6}, 0, 1)
+	x, y := train.Batch(0, train.Len())
+	lTrue, _ := m.Forward(x, false)
+	trueLoss := nn.SoftmaxCrossEntropy(lTrue, y).PerSample
+	lg, _ := m.WithT(guess.T).Forward(x, false)
+	guessLoss := nn.SoftmaxCrossEntropy(lg, y).PerSample
+
+	satisfied := 0
+	epsLeqOne := 0
+	for i := range trueLoss {
+		if trueLoss[i] <= guessLoss[i] {
+			satisfied++
+		}
+		if AdvantageRatio(trueLoss[i], guessLoss[i], 1) <= 1 {
+			epsLeqOne++
+		}
+	}
+	frac := float64(satisfied) / float64(len(trueLoss))
+	if frac < 0.7 {
+		t.Fatalf("Theorem 1 premise l(t) ≤ l(t′) holds for only %.2f of members, want ≥0.7", frac)
+	}
+	if satisfied != epsLeqOne {
+		t.Fatalf("ε ≤ 1 must coincide exactly with the premise: %d vs %d", epsLeqOne, satisfied)
+	}
+}

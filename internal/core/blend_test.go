@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// TestBlendAlwaysInRange: both channels stay inside [lo, hi] for any
+// x, t, α — the "clipped within the range of x" guarantee of Eq. 2.
+func TestBlendAlwaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := r.Float64() * 1.5 // even beyond the paper's [0,1] range
+		n, ss := 1+r.Intn(4), 1+r.Intn(20)
+		x := tensor.New(n, ss)
+		tp := tensor.New(ss)
+		x.RandUniform(r, 0, 1)
+		tp.RandUniform(r, 0, 1)
+		b := Blend(x, tp, alpha, 0, 1)
+		for i := range b.C1.Data {
+			if b.C1.Data[i] < 0 || b.C1.Data[i] > 1 || b.C2.Data[i] < 0 || b.C2.Data[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlendAlphaZeroIsIdentityPair: α = 0 means both channels equal x —
+// CIP degenerates to an undefended dual-view model.
+func TestBlendAlphaZeroIsIdentityPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(2, 6)
+	tp := tensor.New(6)
+	x.RandUniform(rng, 0, 1)
+	tp.RandUniform(rng, 0, 1)
+	b := Blend(x, tp, 0, 0, 1)
+	if !tensor.Equal(b.C1, x, 0) || !tensor.Equal(b.C2, x, 0) {
+		t.Fatal("alpha=0 blend should reproduce x on both channels")
+	}
+}
+
+// TestBlendAlphaOneChannelOneIsT: α = 1 makes channel 1 exactly t — the
+// original sample vanishes from that channel.
+func TestBlendAlphaOneChannelOneIsT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(3, 4)
+	tp := tensor.New(4)
+	x.RandUniform(rng, 0, 1)
+	tp.RandUniform(rng, 0, 1)
+	b := Blend(x, tp, 1, 0, 1)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if b.C1.At(i, j) != tp.Data[j] {
+				t.Fatalf("alpha=1 channel 1 should equal t at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBlendSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for perturbation size mismatch")
+		}
+	}()
+	Blend(tensor.New(2, 4), tensor.New(3), 0.5, 0, 1)
+}
+
+func TestWithTDoesNotMutateOriginal(t *testing.T) {
+	dual := newTestDual(30, 3)
+	pert := NewPerturbation(31, []int{2, 6, 6}, 0, 1)
+	m := NewCIPModel(dual, pert.T, 0.5)
+	origT := m.T.Clone()
+	other := m.WithT(m.ZeroT())
+	other.T.Fill(0.77)
+	if !tensor.Equal(m.T, origT, 0) {
+		t.Fatal("WithT leaked mutation into the original model's T")
+	}
+	if m.Alpha != other.Alpha || m.Lo != other.Lo || m.Hi != other.Hi {
+		t.Fatal("WithT should copy blending configuration")
+	}
+}
+
+func TestCIPModelForwardDeterministicEval(t *testing.T) {
+	dual := newTestDual(32, 3)
+	pert := NewPerturbation(33, []int{2, 6, 6}, 0, 1)
+	m := NewCIPModel(dual, pert.T, 0.5)
+	x := tensor.New(2, 2, 6, 6)
+	x.RandUniform(rand.New(rand.NewSource(34)), 0, 1)
+	a, _ := m.Forward(x, false)
+	b, _ := m.Forward(x, false)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("eval-mode forward must be deterministic")
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import "math"
+
+// AdvantageRatio implements Theorem 1's bound: the factor
+// ε = exp(−(l(θ, z_t′) − l(θ, z_t))/T) by which an adaptive attacker's
+// adversarial advantage shrinks when it queries with a guessed
+// perturbation t′ instead of the true t. Under the theorem's assumption
+// l(θ, z_t) ≤ l(θ, z_t′) (training minimized the true-perturbation loss),
+// the ratio is at most 1: guessing never helps.
+func AdvantageRatio(lossTrue, lossGuessed, temperature float64) float64 {
+	if temperature <= 0 {
+		temperature = 1
+	}
+	return math.Exp(-(lossGuessed - lossTrue) / temperature)
+}
+
+// AdversarialAdvantage converts a membership probability into the paper's
+// adversarial advantage Adv = Pr(m=1|θ,z) / Pr(m=0|θ,z) (Eq. 5).
+func AdversarialAdvantage(pMember float64) float64 {
+	if pMember >= 1 {
+		return math.Inf(1)
+	}
+	if pMember <= 0 {
+		return 0
+	}
+	return pMember / (1 - pMember)
+}

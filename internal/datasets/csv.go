@@ -1,0 +1,107 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// WriteCSV serializes a tabular dataset as CSV: one row per sample, the
+// label in the first column and the features after it. Image datasets are
+// written the same way with pixels flattened row-major; ReadCSV restores
+// them when given the image shape.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	ss := d.SampleSize()
+	row := make([]string, 1+ss)
+	for i := 0; i < d.Len(); i++ {
+		row[0] = strconv.Itoa(d.Y[i])
+		for j, v := range d.X.Data[i*ss : (i+1)*ss] {
+			row[1+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datasets: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("datasets: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// SaveCSV writes the dataset to a file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("datasets: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	return d.WriteCSV(f)
+}
+
+// ReadCSV parses a dataset from CSV as written by WriteCSV. in describes
+// the per-sample shape and numClasses the label range; rows must agree.
+// This is the bridge for users who want to run the library on their own
+// (e.g. real Purchase-100-style) data.
+func ReadCSV(r io.Reader, in model.Input, numClasses int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 1 + in.Size()
+	var (
+		feats  []float64
+		labels []int
+	)
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: reading CSV line %d: %w", line, err)
+		}
+		y, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: CSV line %d label %q: %w", line, rec[0], err)
+		}
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("datasets: CSV line %d label %d out of range [0,%d)",
+				line, y, numClasses)
+		}
+		for _, cell := range rec[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: CSV line %d feature %q: %w", line, cell, err)
+			}
+			feats = append(feats, v)
+		}
+		labels = append(labels, y)
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("datasets: CSV contained no samples")
+	}
+	shape := []int{len(labels), in.C}
+	if in.IsImage() {
+		shape = []int{len(labels), in.C, in.H, in.W}
+	}
+	return &Dataset{
+		X:          tensor.FromSlice(feats, shape...),
+		Y:          labels,
+		NumClasses: numClasses,
+		In:         in,
+	}, nil
+}
+
+// LoadCSV reads a dataset from a file.
+func LoadCSV(path string, in model.Input, numClasses int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f, in, numClasses)
+}

@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+func TestCSVRoundTripTabular(t *testing.T) {
+	train, _, err := SyntheticTabular(TabularConfig{
+		Classes: 4, Train: 20, Test: 4, Features: 12, Sharpness: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := train.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, train.In, train.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(back.X, train.X, 0) {
+		t.Fatal("CSV round trip changed features")
+	}
+	for i := range train.Y {
+		if back.Y[i] != train.Y[i] {
+			t.Fatalf("label %d changed: %d -> %d", i, train.Y[i], back.Y[i])
+		}
+	}
+}
+
+func TestCSVRoundTripImages(t *testing.T) {
+	train, _, err := SyntheticImages(ImageConfig{
+		Classes: 3, Train: 9, Test: 3, C: 2, H: 4, W: 4,
+		Signal: 0.4, Noise: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := train.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()), train.In, train.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.In.IsImage() || !tensor.Equal(back.X, train.X, 0) {
+		t.Fatal("image CSV round trip changed data")
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	in := model.Input{C: 2}
+	tests := []struct {
+		name string
+		csv  string
+	}{
+		{"bad label", "x,0.1,0.2\n"},
+		{"label out of range", "9,0.1,0.2\n"},
+		{"bad feature", "0,zz,0.2\n"},
+		{"wrong width", "0,0.1\n"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.csv), in, 3); err == nil {
+				t.Fatalf("ReadCSV accepted %q", tt.csv)
+			}
+		})
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "nope.csv"), model.Input{C: 2}, 2); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,74 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PartitionIID splits d into k equally sized client shards after a shuffle.
+func PartitionIID(d *Dataset, k int, rng *rand.Rand) []*Dataset {
+	if k <= 0 {
+		panic(fmt.Sprintf("datasets: PartitionIID with %d clients", k))
+	}
+	idx := rng.Perm(d.Len())
+	per := d.Len() / k
+	out := make([]*Dataset, k)
+	for i := 0; i < k; i++ {
+		out[i] = d.Subset(idx[i*per : (i+1)*per])
+	}
+	return out
+}
+
+// PartitionByClass implements the paper's non-iid setting (following Naseri
+// et al., §V-A): each client is assigned classesPerClient random classes and
+// receives an equal number of samples drawn uniformly at random from those
+// classes. classesPerClient equal to NumClasses reduces to an iid draw.
+func PartitionByClass(d *Dataset, k, classesPerClient int, rng *rand.Rand) []*Dataset {
+	if k <= 0 {
+		panic(fmt.Sprintf("datasets: PartitionByClass with %d clients", k))
+	}
+	if classesPerClient <= 0 || classesPerClient > d.NumClasses {
+		panic(fmt.Sprintf("datasets: classesPerClient %d out of range (1..%d)",
+			classesPerClient, d.NumClasses))
+	}
+	byClass := d.ClassIndices()
+	per := d.Len() / k
+	out := make([]*Dataset, k)
+	for i := 0; i < k; i++ {
+		classes := rng.Perm(d.NumClasses)[:classesPerClient]
+		var pool []int
+		for _, c := range classes {
+			pool = append(pool, byClass[c]...)
+		}
+		take := make([]int, per)
+		if len(pool) >= per {
+			perm := rng.Perm(len(pool))
+			for j := 0; j < per; j++ {
+				take[j] = pool[perm[j]]
+			}
+		} else {
+			// Not enough distinct samples in the chosen classes: draw with
+			// replacement, matching the paper's equal-shard-size constraint.
+			for j := 0; j < per; j++ {
+				take[j] = pool[rng.Intn(len(pool))]
+			}
+		}
+		out[i] = d.Subset(take)
+	}
+	return out
+}
+
+// MembershipSplit builds the attack evaluation sets the paper uses: an
+// equal number of members (training samples) and non-members (test
+// samples). It returns subsets of size n each.
+func MembershipSplit(train, test *Dataset, n int, rng *rand.Rand) (members, nonMembers *Dataset) {
+	if n > train.Len() {
+		n = train.Len()
+	}
+	if n > test.Len() {
+		n = test.Len()
+	}
+	mi := rng.Perm(train.Len())[:n]
+	ni := rng.Perm(test.Len())[:n]
+	return train.Subset(mi), test.Subset(ni)
+}

@@ -1,0 +1,116 @@
+package datasets
+
+import "fmt"
+
+// Preset names one of the paper's four evaluation datasets.
+type Preset int
+
+// The paper's four benchmark datasets (Section IV-A).
+const (
+	CIFAR100 Preset = iota + 1
+	CIFARAUG
+	CHMNIST
+	Purchase50
+)
+
+// String returns the paper's dataset name.
+func (p Preset) String() string {
+	switch p {
+	case CIFAR100:
+		return "CIFAR-100"
+	case CIFARAUG:
+		return "CIFAR-AUG"
+	case CHMNIST:
+		return "CH-MNIST"
+	case Purchase50:
+		return "Purchase-50"
+	default:
+		return fmt.Sprintf("Preset(%d)", int(p))
+	}
+}
+
+// AllPresets lists the four presets in the paper's order.
+func AllPresets() []Preset {
+	return []Preset{CIFAR100, CIFARAUG, CHMNIST, Purchase50}
+}
+
+// Scale selects the size of a preset instantiation.
+type Scale int
+
+// Quick keeps experiments in CI territory (seconds); Full scales sample
+// counts and resolution up for longer, closer-to-paper sweeps.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Data bundles a loaded preset: the train/test sets and whether the
+// training loop should apply augmentation (CIFAR-AUG).
+type Data struct {
+	Name    string
+	Preset  Preset
+	Train   *Dataset
+	Test    *Dataset
+	Augment bool
+}
+
+// Load instantiates a preset at the given scale. Seed controls the whole
+// generation, so equal seeds give byte-identical datasets.
+func Load(p Preset, s Scale, seed int64) (*Data, error) {
+	var (
+		train, test *Dataset
+		err         error
+		augment     bool
+	)
+	switch p {
+	case CIFAR100, CIFARAUG:
+		cfg := ImageConfig{
+			Classes: 20, Train: 320, Test: 320,
+			C: 3, H: 8, W: 8,
+			Signal: 0.4, Noise: 0.45,
+			Seed: seed,
+		}
+		if s == Full {
+			cfg.Classes, cfg.Train, cfg.Test = 100, 4000, 2000
+			cfg.H, cfg.W = 12, 12
+		}
+		train, test, err = SyntheticImages(cfg)
+		augment = p == CIFARAUG
+	case CHMNIST:
+		cfg := ImageConfig{
+			Classes: 8, Train: 320, Test: 320,
+			C: 1, H: 8, W: 8,
+			Signal: 0.5, Noise: 0.18,
+			Seed: seed,
+		}
+		if s == Full {
+			cfg.Train, cfg.Test = 2500, 2500
+			cfg.H, cfg.W = 12, 12
+		}
+		train, test, err = SyntheticImages(cfg)
+	case Purchase50:
+		cfg := TabularConfig{
+			Classes: 20, Train: 600, Test: 600,
+			Features: 120, Sharpness: 0.7,
+			Seed: seed,
+		}
+		if s == Full {
+			cfg.Classes, cfg.Train, cfg.Test, cfg.Features = 50, 10000, 10000, 600
+		}
+		train, test, err = SyntheticTabular(cfg)
+	default:
+		return nil, fmt.Errorf("datasets: unknown preset %v", p)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("datasets: loading %v: %w", p, err)
+	}
+	return &Data{Name: p.String(), Preset: p, Train: train, Test: test, Augment: augment}, nil
+}

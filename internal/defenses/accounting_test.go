@@ -1,0 +1,45 @@
+package defenses
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAccountingRoundTrip: NoiseMultiplierFor and EpsilonFor are exact
+// inverses across the whole budget range.
+func TestAccountingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eps := math.Exp(r.Float64()*8 - 2) // ε in ≈[0.14, 400]
+		delta := math.Pow(10, -3-4*r.Float64())
+		steps := 1 + r.Intn(5000)
+		sigma := NoiseMultiplierFor(eps, delta, steps)
+		back := EpsilonFor(sigma, delta, steps)
+		return math.Abs(back-eps) < 1e-9*eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonForMonotonicity(t *testing.T) {
+	// Less noise ⇒ more ε; more steps ⇒ more ε.
+	if !(EpsilonFor(0.5, 1e-5, 100) > EpsilonFor(2.0, 1e-5, 100)) {
+		t.Fatal("ε should grow as σ shrinks")
+	}
+	if !(EpsilonFor(1.0, 1e-5, 1000) > EpsilonFor(1.0, 1e-5, 100)) {
+		t.Fatal("ε should grow with steps")
+	}
+}
+
+func TestEpsilonForDegenerate(t *testing.T) {
+	if !math.IsInf(EpsilonFor(0, 1e-5, 10), 1) {
+		t.Fatal("σ=0 should give infinite ε")
+	}
+	if !math.IsInf(EpsilonFor(1, 0, 10), 1) {
+		t.Fatal("δ=0 should give infinite ε")
+	}
+}

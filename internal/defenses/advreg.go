@@ -1,0 +1,147 @@
+package defenses
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// AdvRegStep implements adversarial regularization (Nasr et al., CCS'18):
+// an inference network h is trained to distinguish the target model's
+// softmax outputs on training members from its outputs on reference
+// (non-member) data, and the target model's loss gains a term
+// λ·log h(member outputs) that penalizes being distinguishable. Raising
+// Lambda trades accuracy for membership privacy — the knob the paper
+// sweeps in Fig. 6.
+type AdvRegStep struct {
+	// Lambda is the privacy/utility knob λ.
+	Lambda float64
+	// Reference is held-out non-member data used to ground the inference
+	// network's "non-member" class.
+	Reference *datasets.Dataset
+
+	attack *nn.Sequential // inference network h
+	attOpt *nn.Adam
+	rng    *rand.Rand
+	k      int // number of classes
+}
+
+// NewAdvRegStep builds an adversarial-regularization step. reference must
+// be disjoint from the training data.
+func NewAdvRegStep(lambda float64, reference *datasets.Dataset, numClasses int,
+	rng *rand.Rand) *AdvRegStep {
+	r := rand.New(rand.NewSource(rng.Int63()))
+	// h takes [softmax(x) ‖ one-hot(y)] and scores membership (2 logits).
+	attack := nn.NewSequential(
+		nn.NewDense(r, 2*numClasses, 64),
+		nn.ReLU{},
+		nn.NewDense(r, 64, 2),
+	)
+	return &AdvRegStep{
+		Lambda:    lambda,
+		Reference: reference,
+		attack:    attack,
+		attOpt:    nn.NewAdam(1e-3),
+		rng:       r,
+		k:         numClasses,
+	}
+}
+
+// attackInput concatenates softmax probabilities and label one-hots.
+func (s *AdvRegStep) attackInput(probs *tensor.Tensor, y []int) *tensor.Tensor {
+	n := probs.Shape[0]
+	out := tensor.New(n, 2*s.k)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*2*s.k:], probs.Data[i*s.k:(i+1)*s.k])
+		out.Data[i*2*s.k+s.k+y[i]] = 1
+	}
+	return out
+}
+
+// Step implements fl.TrainStep: first one update of the inference network,
+// then the target update with the adversarial penalty.
+func (s *AdvRegStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y []int) float64 {
+	n := x.Shape[0]
+
+	// Draw a reference batch of the same size.
+	refIdx := make([]int, n)
+	for i := range refIdx {
+		refIdx[i] = s.rng.Intn(s.Reference.Len())
+	}
+	ref := s.Reference.Subset(refIdx)
+	rx, ry := ref.Batch(0, ref.Len())
+
+	// --- Phase 1: train the inference network h. ---
+	memLogits, _ := net.Forward(x, false)
+	memProbs := nn.Softmax(memLogits)
+	refLogits, _ := net.Forward(rx, false)
+	refProbs := nn.Softmax(refLogits)
+
+	attIn := concatRows(s.attackInput(memProbs, y), s.attackInput(refProbs, ry))
+	attLabels := make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		attLabels[i] = 1 // member
+	}
+	nn.ZeroGrads(s.attack.Params())
+	attOut, attCache := s.attack.Forward(attIn, true)
+	attRes := nn.SoftmaxCrossEntropy(attOut, attLabels)
+	s.attack.Backward(attCache, attRes.Grad)
+	s.attOpt.Step(s.attack.Params())
+
+	// --- Phase 2: train the target model. ---
+	nn.ZeroGrads(net.Params())
+	logits, cache := net.Forward(x, true)
+	res := nn.SoftmaxCrossEntropy(logits, y)
+
+	// Gradient of λ·mean(log h_member(softmax(z))) with respect to logits,
+	// chained through h and the softmax. Minimizing it makes members look
+	// like reference data to h.
+	probs := nn.Softmax(logits)
+	hIn := s.attackInput(probs, y)
+	hOut, hCache := s.attack.Forward(hIn, true)
+	hProbs := nn.Softmax(hOut)
+	// d/d hOut of mean(log p_member): via softmax-CE identity, for target
+	// class "member"(=1): (p − onehot)/n would be CE's grad; log p_member's
+	// gradient is the negative of that.
+	gradH := tensor.New(hOut.Shape...)
+	for i := 0; i < n; i++ {
+		p := hProbs.Data[i*2 : (i+1)*2]
+		gradH.Data[i*2] = p[0] / float64(n)         // −(0 − p0)/n
+		gradH.Data[i*2+1] = (p[1] - 1) / float64(n) // −(1 − p1)/n ... sign folded below
+	}
+	// gradH currently holds d/d hOut of −mean(log p_member); scale by −λ to
+	// get d/d hOut of λ·mean(log p_member)·(−1) — the target minimizes
+	// CE + λ·log h, so the penalty gradient is +λ·d(log h)/dθ.
+	nn.ZeroGrads(s.attack.Params()) // discard h grads from this pass
+	gradHIn := s.attack.Backward(hCache, tensor.Scale(gradH, -s.Lambda))
+	nn.ZeroGrads(s.attack.Params())
+
+	// Only the first k columns of h's input came from softmax(logits).
+	gradProbs := tensor.New(n, s.k)
+	for i := 0; i < n; i++ {
+		copy(gradProbs.Data[i*s.k:(i+1)*s.k], gradHIn.Data[i*2*s.k:i*2*s.k+s.k])
+	}
+	penaltyGrad := softmaxBackward(probs, gradProbs)
+
+	total := tensor.Add(res.Grad, penaltyGrad)
+	net.Backward(cache, total)
+	opt.Step(net.Params())
+
+	// Report the combined objective value for monitoring.
+	var pen float64
+	for i := 0; i < n; i++ {
+		pen += math.Log(math.Max(hProbs.Data[i*2+1], 1e-12))
+	}
+	return res.Loss + s.Lambda*pen/float64(n)
+}
+
+func concatRows(a, b *tensor.Tensor) *tensor.Tensor {
+	na, nb, d := a.Shape[0], b.Shape[0], a.Shape[1]
+	out := tensor.New(na+nb, d)
+	copy(out.Data, a.Data)
+	copy(out.Data[na*d:], b.Data)
+	return out
+}

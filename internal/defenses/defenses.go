@@ -1,0 +1,48 @@
+// Package defenses implements the five baseline defenses the paper
+// compares CIP against in RQ1 (Fig. 4, Fig. 5, Fig. 6):
+//
+//   - DP: DP-SGD-style local differential privacy (per-microbatch gradient
+//     clipping plus calibrated Gaussian noise), usable as LDP under a
+//     malicious server.
+//   - HDP: "Handcrafted DP" (Tramèr & Boneh) — a frozen, non-learned
+//     feature frontend with DP training of only the linear head, trading
+//     learned features for a much better accuracy/ε curve.
+//   - AR: adversarial regularization (Nasr et al.) — a min-max game where
+//     an inference network tries to tell members from reference data and
+//     the target model is penalized for being distinguishable.
+//   - MM: Mixup + MMD (Li et al.) — mixup training plus a maximum-mean-
+//     discrepancy penalty pulling the member output distribution toward a
+//     reference distribution.
+//   - RL: RelaxLoss (Chen et al.) — once the loss falls below a target,
+//     alternate gradient ascent and posterior flattening instead of
+//     further descent.
+//
+// Every defense implements fl.TrainStep, so it drops into the same
+// federated training loop as the undefended baseline; the experiment
+// harness sweeps each defense's privacy knob (ε, λ, µ, ω) exactly as the
+// paper does.
+package defenses
+
+import (
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// softmaxBackward maps a gradient with respect to softmax probabilities to
+// a gradient with respect to logits: dL/dz_i = p_i (g_i − Σ_j p_j g_j).
+func softmaxBackward(probs, gradProbs *tensor.Tensor) *tensor.Tensor {
+	n, k := probs.Shape[0], probs.Shape[1]
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		p := probs.Data[i*k : (i+1)*k]
+		g := gradProbs.Data[i*k : (i+1)*k]
+		dot := 0.0
+		for j := range p {
+			dot += p[j] * g[j]
+		}
+		o := out.Data[i*k : (i+1)*k]
+		for j := range p {
+			o[j] = p[j] * (g[j] - dot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package defenses
+
+import (
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// FrozenFeatures is a fixed, non-learned random-feature frontend
+// (flatten → random projection → ReLU). It stands in for Handcrafted-DP's
+// ScatterNet features: because the frontend has no trainable parameters,
+// DP noise is only paid on the small linear head, which is why HDP's
+// accuracy/ε curve dominates plain DP's (Fig. 4, Fig. 6).
+//
+// The projection is derived deterministically from a seed so every FL
+// client shares the same frontend and FedAvg aggregates only head
+// parameters.
+type FrozenFeatures struct {
+	W *tensor.Tensor // [features, inputSize], fixed
+}
+
+// NewFrozenFeatures builds a frontend with the given output feature count.
+func NewFrozenFeatures(seed int64, in model.Input, features int) *FrozenFeatures {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(features, in.Size())
+	w.HeInit(rng, in.Size())
+	return &FrozenFeatures{W: w}
+}
+
+type frozenCache struct{}
+
+// Forward computes relu(W·flatten(x)ᵀ).
+func (f *FrozenFeatures) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, nn.Cache) {
+	n := x.Shape[0]
+	flat := x.Reshape(n, x.Size()/n)
+	out := tensor.MatMulTransB(flat, f.W)
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out, frozenCache{}
+}
+
+// Backward returns a zero gradient: the frontend is frozen and always the
+// first layer, so nothing upstream consumes its input gradient.
+func (f *FrozenFeatures) Backward(_ nn.Cache, grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.New(grad.Shape[0], f.W.Shape[1])
+}
+
+// Params returns nil: frozen features are not trained and not aggregated.
+func (f *FrozenFeatures) Params() []*nn.Param { return nil }
+
+// NewHDPClassifier builds the Handcrafted-DP model: frozen features plus a
+// trainable linear head. Train it with a DPStep to realize HDP.
+func NewHDPClassifier(rng *rand.Rand, frontendSeed int64, in model.Input,
+	features, numClasses int) *nn.Sequential {
+	return nn.NewSequential(
+		NewFrozenFeatures(frontendSeed, in, features),
+		nn.NewDense(rng, features, numClasses),
+	)
+}
+
+var _ nn.Layer = (*FrozenFeatures)(nil)

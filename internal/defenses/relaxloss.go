@@ -1,0 +1,62 @@
+package defenses
+
+import (
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// RelaxLossStep implements RelaxLoss (Chen et al., ICLR'22): ordinary
+// descent while the batch loss is above the target ω, and once the loss
+// falls below ω it alternates (a) gradient ascent, keeping the loss
+// hovering around ω instead of collapsing toward zero, and (b) posterior
+// flattening, which replaces the one-hot target with a softened label that
+// keeps the true-class probability but spreads the rest uniformly.
+// A higher ω keeps member losses higher — less separable from
+// non-members — at some accuracy cost; ω is the knob the paper sweeps.
+type RelaxLossStep struct {
+	// Omega is the target loss level ω.
+	Omega float64
+
+	step int
+}
+
+// NewRelaxLossStep constructs a RelaxLoss step with the given target.
+func NewRelaxLossStep(omega float64) *RelaxLossStep {
+	return &RelaxLossStep{Omega: omega}
+}
+
+// Step implements fl.TrainStep.
+func (s *RelaxLossStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y []int) float64 {
+	s.step++
+	nn.ZeroGrads(net.Params())
+	logits, cache := net.Forward(x, true)
+	res := nn.SoftmaxCrossEntropy(logits, y)
+
+	grad := res.Grad
+	if res.Loss <= s.Omega {
+		if s.step%2 == 1 {
+			// Gradient ascent: push the loss back up toward ω.
+			grad = tensor.Scale(res.Grad, -1)
+		} else {
+			// Posterior flattening: CE toward softened targets
+			// q_y = p_y, q_{j≠y} = (1−p_y)/(K−1); gradient is p − q.
+			n, k := logits.Shape[0], logits.Shape[1]
+			grad = tensor.New(n, k)
+			inv := 1.0 / float64(n)
+			for i := 0; i < n; i++ {
+				py := res.Probs.Data[i*k+y[i]]
+				rest := (1 - py) / float64(k-1)
+				for j := 0; j < k; j++ {
+					q := rest
+					if j == y[i] {
+						q = py
+					}
+					grad.Data[i*k+j] = (res.Probs.Data[i*k+j] - q) * inv
+				}
+			}
+		}
+	}
+	net.Backward(cache, grad)
+	opt.Step(net.Params())
+	return res.Loss
+}

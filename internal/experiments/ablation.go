@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/attacks"
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+// Ablation isolates CIP's three design choices on the CH-MNIST preset
+// (1 client, α = 0.9): the dual-channel architecture (vs single channel),
+// Step I's perturbation optimization (vs a frozen random t), and Step II's
+// λ_m original-loss maximization (vs λ_m = 0). Each row reports utility
+// (test accuracy with the client's t) and privacy (Ob-MALT attack accuracy
+// without t), so the table shows which component buys which property.
+func Ablation(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CHMNIST, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	split := splitForAttack(d)
+	// Mirror core.Client's layout: 90% trained (the member set), 10% held
+	// out to self-calibrate the Eq. 4 loss target.
+	trainSet, calib := split.TargetTrain.Split(split.TargetTrain.Len() * 9 / 10)
+	members, nonMembers := equalize(trainSet, split.NonMembers)
+	rounds := 25
+	if cfg.Scale == datasets.Full {
+		rounds = 50
+	}
+	arch := archFor(datasets.CHMNIST, cfg.Scale)
+	const alpha = 0.9
+
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Ablation of CIP's design choices (CH-MNIST, 1 client, alpha=0.9)",
+		Header: []string{"variant", "test acc (with t)", "attack acc (without t)"},
+	}
+
+	type variant struct {
+		name          string
+		singleChannel bool
+		skipStepI     bool
+		lambdaM       float64
+		uncapped      bool
+	}
+	const lm = 0.3
+	variants := []variant{
+		{"full CIP", false, false, lm, false},
+		{"single channel", true, false, lm, false},
+		{"no Step I (frozen random t)", false, true, lm, false},
+		{"lambda_m = 0 (no loss maximization)", false, false, 0, false},
+		{"uncapped loss maximization", false, false, lm, true},
+	}
+
+	for _, v := range variants {
+		var dual *core.DualChannelModel
+		if v.singleChannel {
+			dual = core.NewSingleChannelModel(rand.New(rand.NewSource(cfg.Seed+1)), arch,
+				d.Train.In, d.Train.NumClasses)
+		} else {
+			dual = core.NewDualChannelModel(rand.New(rand.NewSource(cfg.Seed+1)), arch,
+				d.Train.In, d.Train.NumClasses)
+		}
+		tc := cipTrainConfig(alpha, rounds, false)
+		tc.LambdaM = v.lambdaM
+		if v.uncapped {
+			tc.OriginalLossCap = 1e9 // effectively disable the control loop
+		}
+
+		pert := core.NewPerturbation(core.BlendSeed(cfg.Seed, 0),
+			sampleShapeOf(trainSet), 0, 1)
+		m := core.NewCIPModel(dual, pert.T, alpha)
+		opt := &nn.SGD{LR: tc.LR(0), Momentum: tc.Momentum}
+		rng := rand.New(rand.NewSource(cfg.Seed + 20))
+		for r := 0; r < rounds; r++ {
+			opt.LR = tc.LR(r)
+			if !v.skipStepI {
+				core.StepIGeneratePerturbation(m, trainSet, tc, rng)
+			}
+			tcRound := tc
+			if !v.uncapped && tc.LambdaM != 0 {
+				// Self-calibrated non-member loss target, as core.Client does.
+				tcRound.OriginalLossCap = fl.MeanLoss(m.WithT(m.ZeroT()), calib, 64)
+			}
+			core.StepIILearnModel(m, trainSet, tcRound, opt, rng)
+		}
+
+		testAcc := fl.Evaluate(m, d.Test, 64)
+		attack := attacks.ObMALT(m.WithT(m.ZeroT()), members, nonMembers)
+		t.AddRow(v.name, f3(testAcc), f3(attack.Accuracy()))
+	}
+	t.Notes = append(t.Notes,
+		"the dual channel buys utility; the capped lambda_m maximization buys privacy where overfitting leaks (strongest on the CIFAR regimes, fig8) and its self-calibrated cap is what protects utility; Step I's benefit shows under non-iid heterogeneity (fig7, table3)")
+	return t, nil
+}
+
+func sampleShapeOf(d *datasets.Dataset) []int {
+	if d.In.IsImage() {
+		return []int{d.In.C, d.In.H, d.In.W}
+	}
+	return []int{d.In.C}
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment is a function from a Config to a
+// rendered Table whose rows/series mirror the paper's artifact; the
+// mapping from experiment id to paper artifact is DESIGN.md §4, and the
+// paper-vs-measured comparison lives in EXPERIMENTS.md.
+//
+// All experiments run at two scales: Quick (seconds to a couple of
+// minutes, used by CI and `go test -bench`) and Full (longer sweeps closer
+// to the paper's grid). Trends and orderings, not absolute accuracies, are
+// the reproduction target (see DESIGN.md §2 for the substitution
+// rationale).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cip-fl/cip/internal/datasets"
+)
+
+// Config selects the scale and base seed of an experiment run.
+type Config struct {
+	Scale datasets.Scale
+	Seed  int64
+}
+
+// Quick returns the CI-scale config used by tests and benchmarks.
+func Quick() Config { return Config{Scale: datasets.Quick, Seed: 1} }
+
+// Table is a rendered experiment artifact: the rows the paper's table or
+// figure reports.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) (*Table, error)
+
+// Registry maps experiment ids (DESIGN.md §4) to their runners.
+var Registry = map[string]Runner{
+	"fig1":     Fig1,
+	"table1":   Table1,
+	"table2":   Table2,
+	"fig4":     Fig4,
+	"fig5":     Fig5,
+	"fig6":     Fig6,
+	"table3":   Table3,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"table4":   Table4,
+	"table5":   Table5,
+	"table6":   Table6,
+	"table7":   Table7,
+	"table8":   Table8,
+	"table9":   Table9,
+	"k3":       Knowledge3Exp,
+	"table10":  Table10,
+	"table11":  Table11,
+	"ablation": Ablation,
+	"theorem1": Theorem1,
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/attacks"
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+// hyper centralizes the training hyperparameters shared by all experiment
+// federations at our scale.
+type hyper struct {
+	batch    int
+	lr       float64
+	momentum float64
+}
+
+func defaultHyper() hyper { return hyper{batch: 16, lr: 0.05, momentum: 0.9} }
+
+// legacyRun is the result of a plain (or baseline-defended) federation.
+type legacyRun struct {
+	Global   []float64
+	Recorder *fl.HistoryRecorder
+	Shards   []*datasets.Dataset
+	Build    func() nn.Layer // reconstructs the architecture
+	Clients  []*fl.LegacyClient
+}
+
+// legacyOpts configures runLegacy beyond the common path.
+type legacyOpts struct {
+	classesPerClient int // 0 = iid partition
+	stepFor          func(i int) fl.TrainStep
+	localEpochs      int
+	augment          bool
+	keepRounds       map[int]bool // rounds whose local params the recorder keeps
+	alter            fl.AlterFunc
+	observers        []fl.RoundObserver
+	// build overrides the default classifier factory (HDP's frozen-feature
+	// model plugs in here). It must be deterministic.
+	build func() nn.Layer
+}
+
+// runLegacy trains a FedAvg federation of plain classifiers (optionally
+// with a per-client defense TrainStep) and returns the final global model.
+func runLegacy(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
+	seed int64, opts legacyOpts) (*legacyRun, error) {
+	h := defaultHyper()
+	rng := rand.New(rand.NewSource(seed))
+	var shards []*datasets.Dataset
+	if opts.classesPerClient > 0 {
+		shards = datasets.PartitionByClass(train, nClients, opts.classesPerClient, rng)
+	} else {
+		shards = datasets.PartitionIID(train, nClients, rng)
+	}
+	build := opts.build
+	if build == nil {
+		build = func() nn.Layer {
+			return model.NewClassifier(rand.New(rand.NewSource(seed+1)), arch, train.In, train.NumClasses)
+		}
+	}
+	localEpochs := opts.localEpochs
+	if localEpochs <= 0 {
+		localEpochs = 1
+	}
+	clients := make([]fl.Client, nClients)
+	legacy := make([]*fl.LegacyClient, nClients)
+	var initial []float64
+	for i := 0; i < nClients; i++ {
+		net := build()
+		if initial == nil {
+			initial = nn.FlattenParams(net.Params())
+		}
+		var step fl.TrainStep
+		if opts.stepFor != nil {
+			step = opts.stepFor(i)
+		}
+		lc := fl.NewLegacyClient(i, net, shards[i], fl.ClientConfig{
+			BatchSize:   h.batch,
+			LocalEpochs: localEpochs,
+			LR:          fl.DecaySchedule(h.lr, rounds),
+			Momentum:    h.momentum,
+			Augment:     opts.augment,
+		}, step, rand.New(rand.NewSource(seed+int64(10+i))))
+		clients[i] = lc
+		legacy[i] = lc
+	}
+	rec := &fl.HistoryRecorder{KeepParams: len(opts.keepRounds) > 0, OnlyRounds: opts.keepRounds}
+	srv := fl.NewServer(initial, clients...)
+	srv.Observers = append(srv.Observers, rec)
+	srv.Observers = append(srv.Observers, opts.observers...)
+	srv.Alter = opts.alter
+	if err := srv.Run(rounds); err != nil {
+		return nil, fmt.Errorf("experiments: legacy federation: %w", err)
+	}
+	return &legacyRun{Global: srv.Global(), Recorder: rec, Shards: shards,
+		Build: build, Clients: legacy}, nil
+}
+
+// evalLegacy loads the run's global parameters and evaluates accuracy on d.
+func (r *legacyRun) evalLegacy(d *datasets.Dataset) float64 {
+	net := r.Build()
+	if err := nn.SetFlatParams(net.Params(), r.Global); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // run/arch mismatch is a bug
+	}
+	return fl.Evaluate(net, d, 64)
+}
+
+// globalNet returns a model loaded with the final global parameters.
+func (r *legacyRun) globalNet() nn.Layer {
+	net := r.Build()
+	if err := nn.SetFlatParams(net.Params(), r.Global); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return net
+}
+
+// cipRun is the result of a CIP federation.
+type cipRun struct {
+	Global    []float64
+	Recorder  *fl.HistoryRecorder
+	Shards    []*datasets.Dataset
+	Clients   []*core.Client
+	BuildDual func() *core.DualChannelModel
+	Alpha     float64
+}
+
+// cipOpts configures runCIP.
+type cipOpts struct {
+	classesPerClient int
+	keepRounds       map[int]bool
+	alter            fl.AlterFunc
+	observers        []fl.RoundObserver
+	augment          bool
+	// lambdaM overrides the Eq. 4 weight (0 keeps the regime default).
+	lambdaM float64
+}
+
+// cipTrainConfig is the CIP hyperparameter set the experiments use: the
+// paper's α plus λ values rescaled to our loss/iteration scale (DESIGN.md
+// §2; λ_m drives the Eq. 4 original-loss maximization).
+func cipTrainConfig(alpha float64, rounds int, augment bool) core.TrainConfig {
+	h := defaultHyper()
+	return core.TrainConfig{
+		Alpha:     alpha,
+		LambdaT:   1e-6,
+		LambdaM:   0.3,
+		PerturbLR: 0.02,
+		BatchSize: h.batch,
+		LR:        fl.DecaySchedule(h.lr, rounds),
+		Momentum:  h.momentum,
+		Augment:   augment,
+	}
+}
+
+// runCIP trains a CIP federation and returns the final global model plus
+// per-client secret perturbations.
+func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
+	alpha float64, seed int64, opts cipOpts) (*cipRun, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var shards []*datasets.Dataset
+	if opts.classesPerClient > 0 {
+		shards = datasets.PartitionByClass(train, nClients, opts.classesPerClient, rng)
+	} else {
+		shards = datasets.PartitionIID(train, nClients, rng)
+	}
+	buildDual := func() *core.DualChannelModel {
+		return core.NewDualChannelModel(rand.New(rand.NewSource(seed+1)), arch,
+			train.In, train.NumClasses)
+	}
+	tc := cipTrainConfig(alpha, rounds, opts.augment)
+	if opts.lambdaM > 0 {
+		tc.LambdaM = opts.lambdaM
+	}
+	clients := make([]fl.Client, nClients)
+	cips := make([]*core.Client, nClients)
+	var initial []float64
+	for i := 0; i < nClients; i++ {
+		dual := buildDual()
+		if initial == nil {
+			initial = nn.FlattenParams(dual.Params())
+		}
+		c := core.NewClient(i, dual, shards[i], tc, core.BlendSeed(seed, i),
+			rand.New(rand.NewSource(seed+int64(20+i))))
+		clients[i] = c
+		cips[i] = c
+	}
+	rec := &fl.HistoryRecorder{KeepParams: len(opts.keepRounds) > 0, OnlyRounds: opts.keepRounds}
+	srv := fl.NewServer(initial, clients...)
+	srv.Observers = append(srv.Observers, rec)
+	srv.Observers = append(srv.Observers, opts.observers...)
+	srv.Alter = opts.alter
+	if err := srv.Run(rounds); err != nil {
+		return nil, fmt.Errorf("experiments: CIP federation: %w", err)
+	}
+	return &cipRun{Global: srv.Global(), Recorder: rec, Shards: shards,
+		Clients: cips, BuildDual: buildDual, Alpha: alpha}, nil
+}
+
+// globalModel returns a CIPModel over the final global parameters querying
+// with the given perturbation.
+func (r *cipRun) globalModel(t []float64) *core.CIPModel {
+	dual := r.BuildDual()
+	if err := nn.SetFlatParams(dual.Params(), r.Global); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	ref := core.NewCIPModel(dual, r.Clients[0].Perturbation().T, r.Alpha)
+	if t == nil {
+		return ref.WithT(ref.ZeroT())
+	}
+	pt := ref.ZeroT()
+	copy(pt.Data, t)
+	return ref.WithT(pt)
+}
+
+// evalCIP evaluates the global model on d averaged over clients, each
+// querying with its own secret t — how a deployed CIP federation serves
+// inference.
+func (r *cipRun) evalCIP(d *datasets.Dataset) float64 {
+	dual := r.BuildDual()
+	if err := nn.SetFlatParams(dual.Params(), r.Global); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	var sum float64
+	for _, c := range r.Clients {
+		m := core.NewCIPModel(dual, c.Perturbation().T, r.Alpha)
+		sum += fl.Evaluate(m, d, 64)
+	}
+	return sum / float64(len(r.Clients))
+}
+
+// attackSplit carves a loaded preset into the standard attack layout:
+// the target's training set, a disjoint shadow training set, non-member
+// and shadow-test sets.
+type attackSplit struct {
+	TargetTrain *datasets.Dataset
+	ShadowTrain *datasets.Dataset
+	NonMembers  *datasets.Dataset
+	ShadowTest  *datasets.Dataset
+}
+
+func splitForAttack(d *datasets.Data) attackSplit {
+	tt, st := d.Train.Split(d.Train.Len() / 2)
+	nm, sx := d.Test.Split(d.Test.Len() / 2)
+	return attackSplit{TargetTrain: tt, ShadowTrain: st, NonMembers: nm, ShadowTest: sx}
+}
+
+// matchClasses restricts d to samples whose class occurs in ref. Under a
+// non-iid partition the victim's members span only its own classes;
+// without this restriction a membership attack could "win" by telling
+// classes apart instead of membership, inflating every attack's accuracy.
+func matchClasses(d, ref *datasets.Dataset) *datasets.Dataset {
+	owned := map[int]bool{}
+	for _, y := range ref.Y {
+		owned[y] = true
+	}
+	var idx []int
+	for i, y := range d.Y {
+		if owned[y] {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// equalize truncates members/nonMembers to equal length.
+func equalize(members, nonMembers *datasets.Dataset) (*datasets.Dataset, *datasets.Dataset) {
+	n := members.Len()
+	if nonMembers.Len() < n {
+		n = nonMembers.Len()
+	}
+	mi := make([]int, n)
+	ni := make([]int, n)
+	for i := 0; i < n; i++ {
+		mi[i], ni[i] = i, i
+	}
+	return members.Subset(mi), nonMembers.Subset(ni)
+}
+
+// trainShadowFor builds the shadow bundle matching an experiment's
+// architecture, used by Ob-NN and Pb-Bayes.
+func trainShadowFor(arch model.Arch, split attackSplit, epochs int, seed int64) (attacks.ShadowBundle, error) {
+	build := func() nn.Layer {
+		return model.NewClassifier(rand.New(rand.NewSource(seed)), arch,
+			split.ShadowTrain.In, split.ShadowTrain.NumClasses)
+	}
+	return attacks.TrainShadow(build, split.ShadowTrain, split.ShadowTest,
+		epochs, defaultHyper().lr, rand.New(rand.NewSource(seed+1)))
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/cip-fl/cip/internal/metrics"
+)
+
+// Repeat runs an experiment n times with consecutive seeds and aggregates
+// every numeric cell to "mean±std". Label cells must agree across runs.
+// Single-seed tables are point estimates; Repeat quantifies how much of a
+// reported gap is run-to-run noise.
+func Repeat(id string, cfg Config, n int) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return RepeatRunner(id, r, cfg, n)
+}
+
+// RepeatRunner is Repeat for an explicit runner (used by tests and custom
+// experiments).
+func RepeatRunner(id string, r Runner, cfg Config, n int) (*Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: Repeat needs n ≥ 1, got %d", n)
+	}
+	var tables []*Table
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		t, err := r(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: repeat %d of %s: %w", i, id, err)
+		}
+		tables = append(tables, t)
+	}
+
+	base := tables[0]
+	out := &Table{
+		ID:     base.ID,
+		Title:  fmt.Sprintf("%s (mean±std over %d seeds)", base.Title, n),
+		Header: base.Header,
+		Notes:  base.Notes,
+	}
+	for ri := range base.Rows {
+		row := make([]string, len(base.Rows[ri]))
+		for ci := range base.Rows[ri] {
+			vals := make([]float64, 0, n)
+			numeric := true
+			for _, t := range tables {
+				if ri >= len(t.Rows) || ci >= len(t.Rows[ri]) {
+					return nil, fmt.Errorf("experiments: repeat of %s produced ragged tables", id)
+				}
+				v, err := strconv.ParseFloat(t.Rows[ri][ci], 64)
+				if err != nil {
+					numeric = false
+					break
+				}
+				vals = append(vals, v)
+			}
+			if !numeric {
+				// Label cell: runs must agree.
+				cell := base.Rows[ri][ci]
+				for _, t := range tables {
+					if t.Rows[ri][ci] != cell {
+						return nil, fmt.Errorf(
+							"experiments: repeat of %s: label cell (%d,%d) differs across seeds: %q vs %q",
+							id, ri, ci, cell, t.Rows[ri][ci])
+					}
+				}
+				row[ci] = cell
+				continue
+			}
+			row[ci] = fmt.Sprintf("%.3f±%.3f", metrics.Mean(vals), metrics.Std(vals))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func stubRunner(vals map[int64]float64) Runner {
+	return func(cfg Config) (*Table, error) {
+		t := &Table{ID: "stub", Title: "stub", Header: []string{"name", "value"}}
+		t.AddRow("metric", fmt.Sprintf("%.3f", vals[cfg.Seed]))
+		return t, nil
+	}
+}
+
+func TestRepeatRunnerAggregates(t *testing.T) {
+	r := stubRunner(map[int64]float64{1: 0.4, 2: 0.6, 3: 0.5})
+	out, err := RepeatRunner("stub", r, Config{Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := out.Rows[0][1]
+	if !strings.HasPrefix(cell, "0.500±") {
+		t.Fatalf("aggregated cell = %q, want mean 0.500", cell)
+	}
+	if out.Rows[0][0] != "metric" {
+		t.Fatalf("label cell lost: %q", out.Rows[0][0])
+	}
+	if !strings.Contains(out.Title, "3 seeds") {
+		t.Fatalf("title should mention seeds: %q", out.Title)
+	}
+}
+
+func TestRepeatRunnerLabelMismatch(t *testing.T) {
+	r := func(cfg Config) (*Table, error) {
+		t := &Table{ID: "stub", Header: []string{"name", "value"}}
+		t.AddRow(fmt.Sprintf("label-%d", cfg.Seed), "not-a-number")
+		return t, nil
+	}
+	if _, err := RepeatRunner("stub", r, Config{Seed: 1}, 2); err == nil {
+		t.Fatal("expected error when label cells differ across seeds")
+	}
+}
+
+func TestRepeatRunnerValidatesN(t *testing.T) {
+	if _, err := RepeatRunner("stub", stubRunner(nil), Config{}, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestRepeatUnknownID(t *testing.T) {
+	if _, err := Repeat("nope", Quick(), 2); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRepeatRunnerPropagatesErrors(t *testing.T) {
+	r := func(cfg Config) (*Table, error) {
+		if cfg.Seed == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		tb := &Table{Header: []string{"v"}}
+		tb.AddRow("1")
+		return tb, nil
+	}
+	if _, err := RepeatRunner("stub", r, Config{Seed: 1}, 3); err == nil {
+		t.Fatal("expected propagated error from a failing seed")
+	}
+}

@@ -1,0 +1,565 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/attacks"
+	"github.com/cip-fl/cip/internal/core"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/defenses"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/metrics"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+// Fig1 reproduces Figure 1: the per-sample loss distributions of members
+// vs non-members, before CIP (legacy model) and after (CIP model queried
+// without the secret t). The overlap coefficient quantifies how alike the
+// two densities are — the paper's visual claim in numbers.
+func Fig1(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CIFAR100, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	split := splitForAttack(d)
+	members, nonMembers := equalize(split.TargetTrain, split.NonMembers)
+	rounds := 25
+	if cfg.Scale == datasets.Full {
+		rounds = 50
+	}
+
+	arch := archFor(datasets.CIFAR100, cfg.Scale)
+	leg, err := runLegacy(split.TargetTrain, arch, 1, rounds, cfg.Seed, legacyOpts{})
+	if err != nil {
+		return nil, err
+	}
+	legNet := leg.globalNet()
+	memBefore := fl.Losses(legNet, members, 64)
+	nonBefore := fl.Losses(legNet, nonMembers, 64)
+
+	cip, err := runCIP(split.TargetTrain, arch, 1, rounds, 0.9, cfg.Seed, cipOpts{})
+	if err != nil {
+		return nil, err
+	}
+	probe := cip.globalModel(nil) // zero-t query, the attacker's view
+	cipMembers, cipNon := equalize(cip.Clients[0].Data(), split.NonMembers)
+	memAfter := fl.Losses(probe, cipMembers, 64)
+	nonAfter := fl.Losses(probe, cipNon, 64)
+
+	hi := maxOf(append(append([]float64{}, memBefore...), nonBefore...))
+	hiA := maxOf(append(append([]float64{}, memAfter...), nonAfter...))
+	const bins = 10
+	hb := metrics.Histogram(memBefore, 0, hi, bins)
+	nb := metrics.Histogram(nonBefore, 0, hi, bins)
+	ha := metrics.Histogram(memAfter, 0, hiA, bins)
+	na := metrics.Histogram(nonAfter, 0, hiA, bins)
+
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Loss distributions of members vs non-members, before/after CIP",
+		Header: []string{"bin", "member(orig)", "nonmem(orig)", "member(CIP)", "nonmem(CIP)"},
+	}
+	for i := 0; i < bins; i++ {
+		t.AddRow(fmt.Sprintf("%d", i), f3(hb[i]), f3(nb[i]), f3(ha[i]), f3(na[i]))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("overlap coefficient before CIP = %.3f, after CIP = %.3f (1 = identical distributions)",
+			metrics.OverlapCoefficient(hb, nb), metrics.OverlapCoefficient(ha, na)))
+	return t, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 1e-9
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table1 reproduces Table I: the internal-adversary setup grid — legacy
+// model train/test accuracy across client counts and architectures, with
+// CIP's hyperparameter columns.
+func Table1(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CIFAR100, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clientCounts := []int{2, 5}
+	rounds := map[int]int{2: 16, 5: 24}
+	if cfg.Scale == datasets.Full {
+		clientCounts = []int{2, 5, 10, 20, 50}
+		rounds = map[int]int{2: 40, 5: 60, 10: 80, 20: 100, 50: 120}
+	}
+
+	t := &Table{
+		ID:    "table1",
+		Title: "[Internal setup] legacy model parameters and CIP parameters",
+		Header: []string{"model", "#clients", "#train iter", "train acc", "test acc",
+			"attack iters", "lr(per.)", "lambda_m", "lambda_t"},
+	}
+	for _, arch := range []model.Arch{model.ResNet, model.DenseNet, model.VGG} {
+		for _, k := range clientCounts {
+			r := rounds[k]
+			run, err := runLegacy(d.Train, arch, k, r, cfg.Seed, legacyOpts{classesPerClient: noniidClasses(d.Train.NumClasses)})
+			if err != nil {
+				return nil, err
+			}
+			trainAcc := run.evalLegacy(d.Train)
+			testAcc := run.evalLegacy(d.Test)
+			t.AddRow(arch.String(), fmt.Sprintf("%d", k), fmt.Sprintf("%d", r),
+				f3(trainAcc), f3(testAcc),
+				fmt.Sprintf("%d,%d,%d", r-3, r-2, r-1), "1e-2", "2e-2", "1e-6")
+		}
+	}
+	t.Notes = append(t.Notes, "non-iid partition ("+fmt.Sprint(noniidClasses(d.Train.NumClasses))+" classes/client), paper's Table I grid at reduced scale")
+	return t, nil
+}
+
+// noniidClasses maps the paper's "20 of 100 classes per client" ratio onto
+// whatever class count the current scale uses.
+func noniidClasses(numClasses int) int {
+	c := numClasses / 5
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Table2 reproduces Table II: the external-adversary setup — per-dataset
+// legacy model accuracies with one client (the paper's worst case) and the
+// CIP hyperparameter columns.
+func Table2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "table2",
+		Title: "[External setup] legacy model parameters and CIP parameters",
+		Header: []string{"dataset", "model", "#train iter", "train acc", "test acc",
+			"lr(train)", "lr(per.)", "lambda_m", "lambda_t"},
+	}
+	for _, p := range datasets.AllPresets() {
+		d, err := datasets.Load(p, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		arch := archFor(p, cfg.Scale)
+		rounds := 25
+		if cfg.Scale == datasets.Full {
+			rounds = 50
+		}
+		run, err := runLegacy(d.Train, arch, 1, rounds, cfg.Seed, legacyOpts{augment: d.Augment})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.Name, arch.String(), fmt.Sprintf("%d", rounds),
+			f3(run.evalLegacy(d.Train)), f3(run.evalLegacy(d.Test)),
+			"8e-2", "2e-2", "2e-2", "1e-6")
+	}
+	return t, nil
+}
+
+// passiveAccOn runs the internal passive attack against client 0 of a
+// recorded federation and returns the attack accuracy.
+func passiveAccOn(kept []fl.RoundRecord, buildNet func() nn.Layer,
+	victimShard, nonMembers *datasets.Dataset, seed int64) (float64, error) {
+	m, n := equalize(victimShard, nonMembers)
+	res, err := attacks.InternalPassive{BuildNet: buildNet}.Run(kept, m, n,
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy(), nil
+}
+
+// lastRounds marks the final n rounds for recorder retention — the
+// paper's "attack on several latest iterations".
+func lastRounds(total, n int) map[int]bool {
+	out := make(map[int]bool, n)
+	for i := total - n; i < total; i++ {
+		if i >= 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Fig4 reproduces Figure 4: test accuracy and internal attack accuracy
+// versus the number of clients, comparing CIP (α=0.5 per the paper's
+// Fig. 4), DP, HDP, and no defense under a non-iid partition.
+func Fig4(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CIFAR100, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clientCounts := []int{2, 5}
+	rounds := 20
+	if cfg.Scale == datasets.Full {
+		clientCounts = []int{2, 5, 10, 20}
+		rounds = 50
+	}
+	ncc := noniidClasses(d.Train.NumClasses)
+	arch := archFor(datasets.CIFAR100, cfg.Scale)
+	const eps = 128.0 // the paper's headline DP comparison budget
+
+	t := &Table{
+		ID:    "fig4",
+		Title: "RQ1-internal: accuracy and attack accuracy vs #clients (non-iid)",
+		Header: []string{"defense", "#clients", "test acc",
+			"passive attack", "active attack"},
+	}
+
+	for _, k := range clientCounts {
+		keep := lastRounds(rounds, 3)
+		steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
+		sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
+
+		type defRun struct {
+			name    string
+			testAcc float64
+			passive float64
+			active  float64
+		}
+		var rows []defRun
+
+		// --- No defense & DP & HDP (legacy-style runs). ---
+		legacyDefs := []struct {
+			name  string
+			opts  func() legacyOpts
+			build func() nn.Layer
+		}{
+			{"NoDefense", func() legacyOpts { return legacyOpts{} }, nil},
+			{fmt.Sprintf("DP(eps=%g)", eps), func() legacyOpts {
+				return legacyOpts{stepFor: func(i int) fl.TrainStep {
+					return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+				}}
+			}, nil},
+			{fmt.Sprintf("HDP(eps=%g)", eps), func() legacyOpts {
+				return legacyOpts{
+					build: func() nn.Layer {
+						return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
+							cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
+					},
+					stepFor: func(i int) fl.TrainStep {
+						return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+					},
+				}
+			}, nil},
+		}
+		for _, ld := range legacyDefs {
+			opts := ld.opts()
+			opts.classesPerClient = ncc
+			opts.keepRounds = keep
+			run, err := runLegacy(d.Train, arch, k, rounds, cfg.Seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
+				run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			act, err := legacyActiveAttack(d, arch, k, rounds, cfg.Seed, opts, run)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, defRun{ld.name, run.evalLegacy(d.Test), pass, act})
+		}
+
+		// --- CIP: α = 0.5 matches the paper's Fig. 4 label; the α = 0.9
+		// row shows the strong-defense setting the paper deploys (RQ3).
+		for _, alpha := range []float64{0.5, 0.9} {
+			crun, err := runCIP(d.Train, arch, k, rounds, alpha, cfg.Seed,
+				cipOpts{classesPerClient: ncc, keepRounds: keep})
+			if err != nil {
+				return nil, err
+			}
+			buildZero := func() nn.Layer { return crun.globalModel(nil) }
+			pass, err := passiveAccOn(crun.Recorder.KeptRounds(), buildZero,
+				crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			act, err := cipActiveAttack(d, arch, k, rounds, alpha, cfg.Seed, ncc, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, defRun{fmt.Sprintf("CIP(alpha=%.1f)", alpha),
+				crun.evalCIP(d.Test), pass, act})
+		}
+
+		for _, r := range rows {
+			t.AddRow(r.name, fmt.Sprintf("%d", k), f3(r.testAcc), f3(r.passive), f3(r.active))
+		}
+	}
+	return t, nil
+}
+
+// legacyActiveAttack reruns a legacy federation with the Nasr active
+// (gradient-ascent) malicious server wired in and returns attack accuracy.
+func legacyActiveAttack(d *datasets.Data, arch model.Arch, k, rounds int,
+	seed int64, base legacyOpts, ref *legacyRun) (float64, error) {
+	nTargets := ref.Shards[0].Len() / 2
+	if nTargets > 30 {
+		nTargets = 30
+	}
+	nonMembers := matchClasses(d.Test, ref.Shards[0])
+	if nonMembers.Len() < nTargets {
+		nTargets = nonMembers.Len()
+	}
+	targets := datasets.Concat(
+		ref.Shards[0].Subset(seqInts(nTargets)),
+		nonMembers.Subset(seqInts(nTargets)))
+	attacker := &attacks.ActiveAttacker{
+		BuildNet:    ref.Build,
+		Targets:     targets,
+		NumMembers:  nTargets,
+		VictimID:    0,
+		StartRound:  rounds - 5,
+		AscentLR:    0.05,
+		AscentSteps: 2,
+	}
+	opts := base
+	opts.alter = attacker.Alter
+	opts.observers = append(opts.observers, attacker)
+	opts.keepRounds = nil
+	if _, err := runLegacy(d.Train, arch, k, rounds, seed, opts); err != nil {
+		return 0, err
+	}
+	res, err := attacker.Result()
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy(), nil
+}
+
+// cipActiveAttack reruns a CIP federation under the active attacker, which
+// queries with the zero perturbation (it does not know t). With
+// descend=true it becomes the adaptive Optimization-2 attack (Table VII):
+// the server lowers the targets' loss and flags samples whose loss ends
+// high — the signature CIP's Step II leaves on members.
+func cipActiveAttack(d *datasets.Data, arch model.Arch, k, rounds int,
+	alpha float64, seed int64, ncc int, descend bool) (float64, error) {
+	// Pre-run once to learn shard layout (deterministic by seed).
+	pre, err := runCIP(d.Train, arch, k, 1, alpha, seed, cipOpts{classesPerClient: ncc})
+	if err != nil {
+		return 0, err
+	}
+	victimData := pre.Clients[0].Data()
+	nTargets := victimData.Len() / 2
+	if nTargets > 30 {
+		nTargets = 30
+	}
+	nonMembers := matchClasses(d.Test, victimData)
+	if nonMembers.Len() < nTargets {
+		nTargets = nonMembers.Len()
+	}
+	targets := datasets.Concat(
+		victimData.Subset(seqInts(nTargets)),
+		nonMembers.Subset(seqInts(nTargets)))
+	buildZero := func() nn.Layer {
+		dual := pre.BuildDual()
+		ref := core.NewCIPModel(dual, pre.Clients[0].Perturbation().T, alpha)
+		return ref.WithT(ref.ZeroT())
+	}
+	attacker := &attacks.ActiveAttacker{
+		BuildNet:    buildZero,
+		Targets:     targets,
+		NumMembers:  nTargets,
+		VictimID:    0,
+		StartRound:  rounds - 5,
+		AscentLR:    0.05,
+		AscentSteps: 2,
+		Descend:     descend,
+	}
+	if _, err := runCIP(d.Train, arch, k, rounds, alpha, seed, cipOpts{
+		classesPerClient: ncc, alter: attacker.Alter,
+		observers: []fl.RoundObserver{attacker},
+	}); err != nil {
+		return 0, err
+	}
+	res, err := attacker.Result()
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy(), nil
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: test and passive-attack accuracy for CIP vs DP
+// across the three backbone families and across DP's ε budget (2 clients).
+func Fig5(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CIFAR100, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 16
+	epsList := []float64{1, 16, 256}
+	if cfg.Scale == datasets.Full {
+		rounds = 40
+		epsList = []float64{1, 4, 16, 64, 256}
+	}
+	const k = 2
+	ncc := noniidClasses(d.Train.NumClasses)
+	keep := lastRounds(rounds, 3)
+
+	t := &Table{
+		ID:     "fig5",
+		Title:  "RQ1-internal: CIP vs DP across architectures and epsilon (2 clients)",
+		Header: []string{"model", "defense", "test acc", "passive attack"},
+	}
+	for _, arch := range []model.Arch{model.VGG, model.DenseNet, model.ResNet} {
+		crun, err := runCIP(d.Train, arch, k, rounds, 0.5, cfg.Seed,
+			cipOpts{classesPerClient: ncc, keepRounds: keep})
+		if err != nil {
+			return nil, err
+		}
+		pass, err := passiveAccOn(crun.Recorder.KeptRounds(),
+			func() nn.Layer { return crun.globalModel(nil) },
+			crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(arch.String(), "CIP(alpha=0.5)", f3(crun.evalCIP(d.Test)), f3(pass))
+
+		for _, eps := range epsList {
+			steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
+			sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
+			run, err := runLegacy(d.Train, arch, k, rounds, cfg.Seed, legacyOpts{
+				classesPerClient: ncc,
+				keepRounds:       keep,
+				stepFor: func(i int) fl.TrainStep {
+					return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
+				run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(arch.String(), fmt.Sprintf("DP(eps=%g)", eps),
+				f3(run.evalLegacy(d.Test)), f3(pass))
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: the external-adversary comparison on CH-MNIST
+// (1 client) — test accuracy and Pb-Bayes attack accuracy for no defense,
+// CIP(α=0.9), and the DP/HDP/AR/MM/RL baselines across privacy budgets.
+func Fig6(cfg Config) (*Table, error) {
+	d, err := datasets.Load(datasets.CHMNIST, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	split := splitForAttack(d)
+	members, nonMembers := equalize(split.TargetTrain, split.NonMembers)
+	rounds := 25
+	shadowEpochs := 25
+	epsList := []float64{1, 8, 32}
+	lamList := []float64{0.3, 1, 2}
+	muList := []float64{0.5, 2.5, 10}
+	omList := []float64{0.5, 2.5, 10}
+	if cfg.Scale == datasets.Full {
+		rounds, shadowEpochs = 50, 50
+		epsList = []float64{1, 2, 8, 16, 32}
+		lamList = []float64{0.3, 0.7, 1, 1.5, 2}
+		muList = []float64{0.5, 1, 2.5, 5, 10}
+		omList = []float64{0.5, 1, 2.5, 5, 10}
+	}
+	arch := archFor(datasets.CHMNIST, cfg.Scale)
+	shadow, err := trainShadowFor(arch, split, shadowEpochs, cfg.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+
+	t := &Table{
+		ID:     "fig6",
+		Title:  "RQ1-external: CIP vs defenses on CH-MNIST (1 client, Pb-Bayes attack)",
+		Header: []string{"defense", "budget", "test acc", "attack acc"},
+	}
+
+	addLegacy := func(name, budget string, opts legacyOpts) error {
+		run, err := runLegacy(split.TargetTrain, arch, 1, rounds, cfg.Seed, opts)
+		if err != nil {
+			return err
+		}
+		net := run.globalNet()
+		res := attacks.PbBayes(net, members, nonMembers, shadow, rng)
+		t.AddRow(name, budget, f3(run.evalLegacy(d.Test)), f3(res.Accuracy()))
+		return nil
+	}
+
+	if err := addLegacy("NoDefense", "-", legacyOpts{}); err != nil {
+		return nil, err
+	}
+
+	crun, err := runCIP(split.TargetTrain, arch, 1, rounds, 0.9, cfg.Seed, cipOpts{})
+	if err != nil {
+		return nil, err
+	}
+	probe := crun.globalModel(nil)
+	cm, cn := equalize(crun.Clients[0].Data(), split.NonMembers)
+	res := attacks.PbBayes(probe, cm, cn, shadow, rng)
+	t.AddRow("CIP(alpha=0.9)", "-", f3(crun.evalCIP(d.Test)), f3(res.Accuracy()))
+
+	steps := rounds * (split.TargetTrain.Len() / defaultHyper().batch)
+	for _, eps := range epsList {
+		sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
+		if err := addLegacy("DP", fmt.Sprintf("eps=%g", eps), legacyOpts{
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+			}}); err != nil {
+			return nil, err
+		}
+		if err := addLegacy("HDP", fmt.Sprintf("eps=%g", eps), legacyOpts{
+			build: func() nn.Layer {
+				return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
+					cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
+			},
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+			}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, lam := range lamList {
+		if err := addLegacy("AR", fmt.Sprintf("lambda=%g", lam), legacyOpts{
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewAdvRegStep(lam, split.ShadowTest.Clone(), d.Train.NumClasses,
+					rand.New(rand.NewSource(cfg.Seed+int64(i))))
+			}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, mu := range muList {
+		if err := addLegacy("MM", fmt.Sprintf("mu=%g", mu), legacyOpts{
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewMixupMMDStep(mu, 0.4, split.ShadowTest.Clone(), d.Train.NumClasses,
+					rand.New(rand.NewSource(cfg.Seed+int64(i))))
+			}}); err != nil {
+			return nil, err
+		}
+	}
+	for _, om := range omList {
+		if err := addLegacy("RL", fmt.Sprintf("omega=%g", om), legacyOpts{
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewRelaxLossStep(om)
+			}}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,169 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+func TestEncodeDecodeBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := 1 + r.Intn(16)
+		v := make([]float64, 1+r.Intn(100))
+		for i := range v {
+			v[i] = r.NormFloat64() * 10
+		}
+		z, err := Quantizer{Bits: bits}.Encode(v)
+		if err != nil {
+			return false
+		}
+		back := z.Decode()
+		bound := z.MaxError() + 1e-12
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorShrinksWithBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 500)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	mse := func(bits int) float64 {
+		z, err := Quantizer{Bits: bits}.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := z.Decode()
+		s := 0.0
+		for i := range v {
+			d := back[i] - v[i]
+			s += d * d
+		}
+		return s / float64(len(v))
+	}
+	if !(mse(4) > mse(8) && mse(8) > mse(12)) {
+		t.Fatalf("quantization error should shrink with bits: %v, %v, %v",
+			mse(4), mse(8), mse(12))
+	}
+}
+
+func TestConstantVector(t *testing.T) {
+	v := []float64{3, 3, 3}
+	z, err := Quantizer{Bits: 8}.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range z.Decode() {
+		if got != 3 {
+			t.Fatalf("constant vector decoded to %v", got)
+		}
+	}
+	if z.MaxError() != 0 {
+		t.Fatalf("constant vector max error = %v", z.MaxError())
+	}
+}
+
+func TestInvalidBits(t *testing.T) {
+	for _, bits := range []int{0, 17, -1} {
+		if _, err := (Quantizer{Bits: bits}).Encode([]float64{1}); err == nil {
+			t.Errorf("bits=%d accepted", bits)
+		}
+	}
+}
+
+func TestCompressedBits(t *testing.T) {
+	z, err := Quantizer{Bits: 8}.Encode(make([]float64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z.CompressedBits(); got != 800 {
+		t.Fatalf("CompressedBits = %d, want 800", got)
+	}
+}
+
+// quantizingClient wraps a client and quantizes its reported update — the
+// deployment where bandwidth matters.
+type quantizingClient struct {
+	inner fl.Client
+	bits  int
+}
+
+func (c *quantizingClient) ID() int         { return c.inner.ID() }
+func (c *quantizingClient) NumSamples() int { return c.inner.NumSamples() }
+func (c *quantizingClient) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := c.inner.TrainLocal(round, global)
+	if err != nil {
+		return fl.Update{}, err
+	}
+	z, err := Quantizer{Bits: c.bits}.Encode(u.Params)
+	if err != nil {
+		return fl.Update{}, err
+	}
+	u.Params = z.Decode() // simulate the server-side reconstruction
+	return u, nil
+}
+
+// TestFedAvgSurvives8BitQuantization: with 10-bit updates the federated
+// model's accuracy stays close to the uncompressed run while the payload
+// shrinks ~6x vs float64.
+func TestFedAvgSurvivesQuantization(t *testing.T) {
+	train, test, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 4, Train: 80, Test: 80, C: 1, H: 6, W: 6,
+		Signal: 0.5, Noise: 0.2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, rounds = 2, 30
+	build := func() nn.Layer {
+		return model.NewClassifier(rand.New(rand.NewSource(3)), model.VGG,
+			train.In, train.NumClasses)
+	}
+	run := func(quantBits int) float64 {
+		shards := datasets.PartitionIID(train, k, rand.New(rand.NewSource(4)))
+		clients := make([]fl.Client, k)
+		for i := 0; i < k; i++ {
+			var c fl.Client = fl.NewLegacyClient(i, build(), shards[i], fl.ClientConfig{
+				BatchSize: 16, LR: func(int) float64 { return 0.04 }, Momentum: 0.9,
+			}, nil, rand.New(rand.NewSource(int64(30+i))))
+			if quantBits > 0 {
+				c = &quantizingClient{inner: c, bits: quantBits}
+			}
+			clients[i] = c
+		}
+		net := build()
+		srv := fl.NewServer(nn.FlattenParams(net.Params()), clients...)
+		if err := srv.Run(rounds); err != nil {
+			t.Fatal(err)
+		}
+		if err := nn.SetFlatParams(net.Params(), srv.Global()); err != nil {
+			t.Fatal(err)
+		}
+		return fl.Evaluate(net, test, 64)
+	}
+	full := run(0)
+	quant := run(10)
+	if full < 0.5 {
+		t.Fatalf("setup: uncompressed federation should learn, got %v", full)
+	}
+	if quant < full-0.15 {
+		t.Fatalf("10-bit quantization cost too much accuracy: %v vs %v", quant, full)
+	}
+}

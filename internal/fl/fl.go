@@ -1,0 +1,174 @@
+// Package fl implements the federated-learning substrate the paper trains
+// on: FedAvg clients and server, communication rounds, and the
+// malicious-server observation and alteration hooks that the internal
+// membership inference attacks of Nasr et al. (S&P'19) require.
+//
+// The design keeps attack logic out of the engine: a malicious server is
+// modeled as (a) a RoundObserver that receives every client's local update
+// each round (the passive attack's vantage point) and (b) an AlterFunc that
+// may rewrite the model a victim client receives (the active attack's
+// gradient-ascent injection point).
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Update is what a client returns from one round of local training.
+type Update struct {
+	// ClientID identifies the producing client (filled in by the server).
+	ClientID int
+	// Params is the client's post-training flat parameter vector.
+	Params []float64
+	// NumSamples weights this client in the FedAvg aggregate.
+	NumSamples int
+	// TrainLoss is the client's mean local training loss this round;
+	// Fig. 7's EMD heterogeneity measure is computed over these.
+	TrainLoss float64
+}
+
+// Client is one federated-learning participant.
+type Client interface {
+	// ID returns the client's stable index.
+	ID() int
+	// NumSamples returns the local training-set size.
+	NumSamples() int
+	// TrainLocal loads the global parameters, runs the client's local
+	// training for the round, and returns the resulting update.
+	TrainLocal(round int, global []float64) (Update, error)
+}
+
+// RoundObserver receives the state a (potentially malicious) server can see
+// every round: the pre-round global parameters and each client's update.
+type RoundObserver interface {
+	ObserveRound(round int, global []float64, updates []Update)
+}
+
+// AlterFunc lets a malicious server rewrite the parameters sent to one
+// client. Returning nil keeps the genuine global parameters.
+type AlterFunc func(round int, clientID int, global []float64) []float64
+
+// Server coordinates FedAvg over a set of clients.
+type Server struct {
+	Clients   []Client
+	Observers []RoundObserver
+	// Alter, when non-nil, may substitute the parameters each client
+	// receives (malicious-server active attacks).
+	Alter AlterFunc
+	// SampleFraction, when in (0, 1), trains only that fraction of clients
+	// per round (McMahan et al.'s client-sampling parameter C); 0 or ≥1
+	// trains everyone. SampleRng drives the selection (nil seeds from 0).
+	SampleFraction float64
+	SampleRng      *rand.Rand
+
+	global []float64
+}
+
+// NewServer creates a server with the given initial global parameters.
+func NewServer(initial []float64, clients ...Client) *Server {
+	g := make([]float64, len(initial))
+	copy(g, initial)
+	return &Server{Clients: clients, global: g}
+}
+
+// Global returns a copy of the current global parameter vector.
+func (s *Server) Global() []float64 {
+	out := make([]float64, len(s.global))
+	copy(out, s.global)
+	return out
+}
+
+// RunRound executes one communication round: broadcast, local training on
+// the (possibly sampled) clients, then weighted FedAvg aggregation.
+func (s *Server) RunRound(round int) error {
+	if len(s.Clients) == 0 {
+		return errors.New("fl: server has no clients")
+	}
+	participants := s.sampleClients()
+	updates := make([]Update, len(participants))
+	for i, c := range participants {
+		params := s.global
+		if s.Alter != nil {
+			if altered := s.Alter(round, c.ID(), s.Global()); altered != nil {
+				params = altered
+			}
+		}
+		u, err := c.TrainLocal(round, params)
+		if err != nil {
+			return fmt.Errorf("fl: client %d round %d: %w", c.ID(), round, err)
+		}
+		if len(u.Params) != len(s.global) {
+			return fmt.Errorf("fl: client %d returned %d params, want %d",
+				c.ID(), len(u.Params), len(s.global))
+		}
+		u.ClientID = c.ID()
+		updates[i] = u
+	}
+	for _, o := range s.Observers {
+		o.ObserveRound(round, s.Global(), updates)
+	}
+	s.global = Aggregate(updates)
+	return nil
+}
+
+// sampleClients returns this round's participants in stable ID order.
+func (s *Server) sampleClients() []Client {
+	f := s.SampleFraction
+	if f <= 0 || f >= 1 || len(s.Clients) < 2 {
+		return s.Clients
+	}
+	n := int(f*float64(len(s.Clients)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if s.SampleRng == nil {
+		s.SampleRng = rand.New(rand.NewSource(0))
+	}
+	perm := s.SampleRng.Perm(len(s.Clients))[:n]
+	// Keep deterministic ordering so observers can index stably.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	out := make([]Client, n)
+	for i, idx := range perm {
+		out[i] = s.Clients[idx]
+	}
+	return out
+}
+
+// Run executes rounds communication rounds.
+func (s *Server) Run(rounds int) error {
+	for r := 0; r < rounds; r++ {
+		if err := s.RunRound(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aggregate computes the sample-weighted FedAvg mean of the updates.
+func Aggregate(updates []Update) []float64 {
+	if len(updates) == 0 {
+		return nil
+	}
+	out := make([]float64, len(updates[0].Params))
+	total := 0.0
+	for _, u := range updates {
+		w := float64(u.NumSamples)
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+		for i, v := range u.Params {
+			out[i] += w * v
+		}
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+func TestAggregateIdentityOnEqualModels(t *testing.T) {
+	p := []float64{1, 2, 3}
+	updates := []Update{
+		{Params: p, NumSamples: 10},
+		{Params: p, NumSamples: 3},
+	}
+	got := Aggregate(updates)
+	for i := range p {
+		if math.Abs(got[i]-p[i]) > 1e-12 {
+			t.Fatalf("Aggregate of identical params diverged at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestAggregateWeighted(t *testing.T) {
+	updates := []Update{
+		{Params: []float64{0}, NumSamples: 1},
+		{Params: []float64{10}, NumSamples: 3},
+	}
+	got := Aggregate(updates)
+	if math.Abs(got[0]-7.5) > 1e-12 {
+		t.Fatalf("weighted aggregate = %v, want 7.5", got[0])
+	}
+}
+
+func TestAggregatePermutationInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(5)
+		dim := 1 + r.Intn(8)
+		updates := make([]Update, k)
+		for i := range updates {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = r.NormFloat64()
+			}
+			updates[i] = Update{Params: p, NumSamples: 1 + r.Intn(20)}
+		}
+		a := Aggregate(updates)
+		perm := r.Perm(k)
+		shuffled := make([]Update, k)
+		for i, j := range perm {
+			shuffled[i] = updates[j]
+		}
+		b := Aggregate(shuffled)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecaySchedule(t *testing.T) {
+	lr := DecaySchedule(0.1, 30)
+	if got := lr(0); got != 0.1 {
+		t.Errorf("lr(0) = %v, want 0.1", got)
+	}
+	if got := lr(15); got != 0.05 {
+		t.Errorf("lr(15) = %v, want 0.05", got)
+	}
+	if got := lr(29); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("lr(29) = %v, want 0.02", got)
+	}
+}
+
+func quickData(t *testing.T, seed int64) (*datasets.Dataset, *datasets.Dataset) {
+	t.Helper()
+	train, test, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 4, Train: 80, Test: 80, C: 1, H: 6, W: 6,
+		Signal: 0.5, Noise: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func newTestClients(t *testing.T, train *datasets.Dataset, k int) ([]Client, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	shards := datasets.PartitionIID(train, k, rng)
+	clients := make([]Client, k)
+	var initial []float64
+	for i := 0; i < k; i++ {
+		crng := rand.New(rand.NewSource(int64(100 + i)))
+		net := model.NewClassifier(rand.New(rand.NewSource(7)), model.VGG,
+			train.In, train.NumClasses)
+		if initial == nil {
+			initial = nn.FlattenParams(net.Params())
+		}
+		clients[i] = NewLegacyClient(i, net, shards[i], ClientConfig{
+			BatchSize: 16, LocalEpochs: 1, LR: func(int) float64 { return 0.08 },
+			Momentum: 0.9,
+		}, nil, crng)
+	}
+	return clients, initial
+}
+
+func TestFedAvgLearns(t *testing.T) {
+	train, test := quickData(t, 1)
+	clients, initial := newTestClients(t, train, 3)
+	srv := NewServer(initial, clients...)
+	if err := srv.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the aggregated global model.
+	eval := model.NewClassifier(rand.New(rand.NewSource(7)), model.VGG, train.In, train.NumClasses)
+	if err := nn.SetFlatParams(eval.Params(), srv.Global()); err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(eval, test, 32)
+	if acc < 0.5 {
+		t.Fatalf("FedAvg global accuracy = %v, want ≥0.5 on easy data", acc)
+	}
+}
+
+func TestServerNoClients(t *testing.T) {
+	srv := NewServer([]float64{1})
+	if err := srv.Run(1); err == nil {
+		t.Fatal("expected error running a server with no clients")
+	}
+}
+
+func TestHistoryRecorderKeepsLossesAndSelectedRounds(t *testing.T) {
+	train, _ := quickData(t, 2)
+	clients, initial := newTestClients(t, train, 2)
+	rec := &HistoryRecorder{KeepParams: true, OnlyRounds: map[int]bool{2: true}}
+	srv := NewServer(initial, clients...)
+	srv.Observers = append(srv.Observers, rec)
+	if err := srv.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rounds) != 4 {
+		t.Fatalf("recorded %d rounds, want 4", len(rec.Rounds))
+	}
+	kept := rec.KeptRounds()
+	if len(kept) != 1 || kept[0].Round != 2 {
+		t.Fatalf("kept rounds = %+v, want only round 2", kept)
+	}
+	if len(kept[0].LocalParams) != 2 {
+		t.Fatalf("kept %d local param sets, want 2", len(kept[0].LocalParams))
+	}
+	series := rec.ClientLossSeries(0)
+	if len(series) != 4 {
+		t.Fatalf("loss series length = %d, want 4", len(series))
+	}
+	for i, l := range series {
+		if l <= 0 {
+			t.Fatalf("round %d loss = %v, want > 0", i, l)
+		}
+	}
+}
+
+func TestAlterFuncTargetsOneClient(t *testing.T) {
+	train, _ := quickData(t, 3)
+	clients, initial := newTestClients(t, train, 2)
+	altered := map[int]int{}
+	srv := NewServer(initial, clients...)
+	srv.Alter = func(round, clientID int, global []float64) []float64 {
+		if clientID != 1 {
+			return nil
+		}
+		altered[round]++
+		out := make([]float64, len(global))
+		copy(out, global)
+		return out
+	}
+	if err := srv.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(altered) != 3 {
+		t.Fatalf("alteration hook fired for %d rounds, want 3", len(altered))
+	}
+}
+
+func TestTrainEpochsReducesLoss(t *testing.T) {
+	train, _ := quickData(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	net := model.NewClassifier(rng, model.VGG, train.In, train.NumClasses)
+	opt := &nn.SGD{LR: 0.08, Momentum: 0.9}
+	cfg := ClientConfig{BatchSize: 16, LocalEpochs: 1}
+	first, err := TrainEpochs(net, opt, nil, train, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 8; i++ {
+		last, err = TrainEpochs(net, opt, nil, train, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("training loss did not fall: %v -> %v", first, last)
+	}
+}
+
+func TestEvaluateAndLossesConsistent(t *testing.T) {
+	train, _ := quickData(t, 6)
+	rng := rand.New(rand.NewSource(6))
+	net := model.NewClassifier(rng, model.VGG, train.In, train.NumClasses)
+	losses := Losses(net, train, 32)
+	if len(losses) != train.Len() {
+		t.Fatalf("got %d losses for %d samples", len(losses), train.Len())
+	}
+	var sum float64
+	for _, l := range losses {
+		sum += l
+	}
+	if mean := MeanLoss(net, train, 32); math.Abs(mean-sum/float64(len(losses))) > 1e-9 {
+		t.Fatalf("MeanLoss %v inconsistent with Losses mean %v", mean, sum/float64(len(losses)))
+	}
+}
+
+func TestClientParamSizeMismatch(t *testing.T) {
+	train, _ := quickData(t, 7)
+	clients, _ := newTestClients(t, train, 1)
+	srv := NewServer([]float64{1, 2, 3}, clients...) // wrong size on purpose
+	if err := srv.Run(1); err == nil {
+		t.Fatal("expected error for mismatched global parameter size")
+	}
+}

@@ -1,0 +1,123 @@
+// Package secagg implements pairwise-masking secure aggregation in the
+// style of Bonawitz et al. (CCS'17), which the paper's related work (§VI)
+// discusses: every pair of clients shares a random seed; client i adds the
+// seed-derived mask for each j>i and subtracts it for each j<i, so the
+// server sees only masked updates while the SUM of all updates is
+// unchanged.
+//
+// The package exists to demonstrate the paper's point empirically: secure
+// aggregation hides individual updates from the server, but the aggregated
+// global model still leaks membership — a client or server can run MI
+// attacks against it unimpeded, which is exactly the gap CIP fills.
+// (It also shows CIP composes with secure aggregation: CIP clients report
+// only model parameters, which can be masked like any other update.)
+package secagg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+// PairwiseSeeds holds the shared secrets of every unordered client pair.
+// In a deployment these come from a Diffie-Hellman exchange; here the
+// trusted setup derives them from a session seed.
+type PairwiseSeeds struct {
+	n     int
+	seeds map[[2]int]int64
+}
+
+// NewPairwiseSeeds derives seeds for n clients from a session seed.
+func NewPairwiseSeeds(sessionSeed int64, n int) *PairwiseSeeds {
+	rng := rand.New(rand.NewSource(sessionSeed))
+	ps := &PairwiseSeeds{n: n, seeds: make(map[[2]int]int64)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ps.seeds[[2]int{i, j}] = rng.Int63()
+		}
+	}
+	return ps
+}
+
+// maskFor returns client id's net mask for one round: + PRG(s_ij) for
+// every j>id, − PRG(s_ij) for every j<id. Folding the round into the PRG
+// seed gives fresh masks every round without communication.
+func (ps *PairwiseSeeds) maskFor(id, round, dim int) []float64 {
+	mask := make([]float64, dim)
+	for other := 0; other < ps.n; other++ {
+		if other == id {
+			continue
+		}
+		lo, hi := id, other
+		sign := 1.0
+		if other < id {
+			lo, hi = other, id
+			sign = -1
+		}
+		seed := ps.seeds[[2]int{lo, hi}] ^ int64(round)*0x5851F42D4C957F2D
+		prg := rand.New(rand.NewSource(seed))
+		for k := range mask {
+			// Large-amplitude masks: individual updates are buried.
+			mask[k] += sign * prg.NormFloat64() * maskScale
+		}
+	}
+	return mask
+}
+
+// maskScale sets the mask amplitude relative to typical parameter values.
+const maskScale = 100.0
+
+// Client wraps an fl.Client so its reported parameters are masked.
+// Masking requires unweighted averaging (the pairwise masks cancel in a
+// plain sum), so all participants must hold equally sized shards — the
+// standard secure-aggregation deployment constraint.
+type Client struct {
+	Inner fl.Client
+	Seeds *PairwiseSeeds
+}
+
+// ID implements fl.Client.
+func (c *Client) ID() int { return c.Inner.ID() }
+
+// NumSamples reports 1: secure aggregation sums masked vectors, so the
+// aggregate must be the unweighted mean.
+func (c *Client) NumSamples() int { return 1 }
+
+// TrainLocal trains the inner client and masks the reported parameters.
+func (c *Client) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := c.Inner.TrainLocal(round, global)
+	if err != nil {
+		return fl.Update{}, err
+	}
+	mask := c.Seeds.maskFor(c.Inner.ID(), round, len(u.Params))
+	masked := make([]float64, len(u.Params))
+	for i := range masked {
+		masked[i] = u.Params[i] + mask[i]
+	}
+	u.Params = masked
+	u.NumSamples = 1
+	// The per-round training loss would also leak; a secure-aggregation
+	// deployment doesn't report it per client.
+	u.TrainLoss = 0
+	return u, nil
+}
+
+// Wrap masks a whole federation. It returns an error when fewer than two
+// clients are given (masking needs at least one pair).
+func Wrap(sessionSeed int64, clients []fl.Client) ([]fl.Client, error) {
+	if len(clients) < 2 {
+		return nil, fmt.Errorf("secagg: need at least 2 clients, got %d", len(clients))
+	}
+	seeds := NewPairwiseSeeds(sessionSeed, len(clients))
+	out := make([]fl.Client, len(clients))
+	for i, c := range clients {
+		if c.ID() != i {
+			return nil, fmt.Errorf("secagg: client at index %d has ID %d; IDs must be 0..n-1", i, c.ID())
+		}
+		out[i] = &Client{Inner: c, Seeds: seeds}
+	}
+	return out, nil
+}
+
+var _ fl.Client = (*Client)(nil)

@@ -1,0 +1,182 @@
+package secagg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/attacks"
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+)
+
+// echoClient returns a fixed parameter vector, making mask cancellation
+// directly checkable.
+type echoClient struct {
+	id     int
+	params []float64
+}
+
+func (c *echoClient) ID() int         { return c.id }
+func (c *echoClient) NumSamples() int { return 1 }
+func (c *echoClient) TrainLocal(int, []float64) (fl.Update, error) {
+	p := make([]float64, len(c.params))
+	copy(p, c.params)
+	return fl.Update{Params: p, NumSamples: 1}, nil
+}
+
+func TestMasksCancelInAggregate(t *testing.T) {
+	const k, dim = 4, 50
+	rng := rand.New(rand.NewSource(1))
+	inner := make([]fl.Client, k)
+	var wantMean []float64
+	for i := 0; i < k; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		if wantMean == nil {
+			wantMean = make([]float64, dim)
+		}
+		for j := range p {
+			wantMean[j] += p[j] / k
+		}
+		inner[i] = &echoClient{id: i, params: p}
+	}
+	masked, err := Wrap(7, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := fl.NewServer(make([]float64, dim), masked...)
+	if err := srv.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Global()
+	for j := range wantMean {
+		if math.Abs(got[j]-wantMean[j]) > 1e-6 {
+			t.Fatalf("masked aggregate diverged at %d: %v vs %v", j, got[j], wantMean[j])
+		}
+	}
+}
+
+func TestMaskedUpdateHidesIndividual(t *testing.T) {
+	const dim = 200
+	rng := rand.New(rand.NewSource(2))
+	p := make([]float64, dim)
+	for j := range p {
+		p[j] = rng.NormFloat64() * 0.01
+	}
+	inner := []fl.Client{
+		&echoClient{id: 0, params: p},
+		&echoClient{id: 1, params: p},
+	}
+	masked, err := Wrap(9, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := masked[0].TrainLocal(0, make([]float64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The masked update must be dominated by the mask, i.e. essentially
+	// uncorrelated with (and enormously larger than) the true update.
+	var normTrue, normMasked float64
+	for j := range p {
+		normTrue += p[j] * p[j]
+		normMasked += u.Params[j] * u.Params[j]
+	}
+	if math.Sqrt(normMasked) < 100*math.Sqrt(normTrue) {
+		t.Fatalf("mask amplitude too small to hide the update: %v vs %v",
+			math.Sqrt(normMasked), math.Sqrt(normTrue))
+	}
+}
+
+func TestMasksFreshEveryRound(t *testing.T) {
+	seeds := NewPairwiseSeeds(3, 2)
+	m0 := seeds.maskFor(0, 0, 10)
+	m1 := seeds.maskFor(0, 1, 10)
+	same := true
+	for i := range m0 {
+		if m0[i] != m1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("masks must differ across rounds")
+	}
+}
+
+func TestWrapValidation(t *testing.T) {
+	if _, err := Wrap(1, []fl.Client{&echoClient{id: 0}}); err == nil {
+		t.Fatal("expected error with one client")
+	}
+	bad := []fl.Client{&echoClient{id: 0}, &echoClient{id: 5}}
+	if _, err := Wrap(1, bad); err == nil {
+		t.Fatal("expected error for non-contiguous IDs")
+	}
+}
+
+// TestSecureAggregationDoesNotStopMI reproduces the paper's §VI argument:
+// a federation behind secure aggregation produces the SAME global model,
+// so the loss-threshold MI attack succeeds exactly as without it. Secure
+// aggregation protects the updates in transit, not the model's memory of
+// its training data.
+func TestSecureAggregationDoesNotStopMI(t *testing.T) {
+	train, test, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 8, Train: 96, Test: 96, C: 2, H: 6, W: 6,
+		Signal: 0.35, Noise: 0.45, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, rounds = 2, 35
+	build := func() nn.Layer {
+		return model.NewClassifier(rand.New(rand.NewSource(5)), model.VGG,
+			train.In, train.NumClasses)
+	}
+	makeClients := func() []fl.Client {
+		shards := datasets.PartitionIID(train, k, rand.New(rand.NewSource(6)))
+		clients := make([]fl.Client, k)
+		for i := 0; i < k; i++ {
+			clients[i] = fl.NewLegacyClient(i, build(), shards[i], fl.ClientConfig{
+				BatchSize: 16, LR: func(int) float64 { return 0.04 }, Momentum: 0.9,
+			}, nil, rand.New(rand.NewSource(int64(20+i))))
+		}
+		return clients
+	}
+
+	run := func(clients []fl.Client) nn.Layer {
+		net := build()
+		srv := fl.NewServer(nn.FlattenParams(net.Params()), clients...)
+		if err := srv.Run(rounds); err != nil {
+			t.Fatal(err)
+		}
+		if err := nn.SetFlatParams(net.Params(), srv.Global()); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	plain := run(makeClients())
+	wrapped, err := Wrap(13, makeClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure := run(wrapped)
+
+	members, nonMembers := datasets.MembershipSplit(train, test, 80, rand.New(rand.NewSource(7)))
+	plainAttack := attacks.ObMALT(plain, members, nonMembers)
+	secureAttack := attacks.ObMALT(secure, members, nonMembers)
+
+	if plainAttack.Accuracy() < 0.65 {
+		t.Fatalf("setup: expected a working attack on the overfit model, got %v",
+			plainAttack.Accuracy())
+	}
+	if math.Abs(secureAttack.Accuracy()-plainAttack.Accuracy()) > 0.1 {
+		t.Fatalf("secure aggregation changed MI attack accuracy (%v vs %v); it should not",
+			secureAttack.Accuracy(), plainAttack.Accuracy())
+	}
+}

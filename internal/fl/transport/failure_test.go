@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+// TestCoordinatorClientDisconnect: a client that vanishes mid-round must
+// surface as an error from the coordinator, not a hang.
+func TestCoordinatorClientDisconnect(t *testing.T) {
+	coord := &Coordinator{NumClients: 1, Rounds: 3, Initial: []float64{1, 2}}
+	addrCh := make(chan string, 1)
+	var (
+		srvErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, srvErr = coord.ListenAndRun("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{ID: 0, NumSamples: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Read the first round message, then drop the connection.
+	dec := gob.NewDecoder(conn)
+	var rm roundMsg
+	if err := dec.Decode(&rm); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator hung after client disconnect")
+	}
+	if srvErr == nil {
+		t.Fatal("coordinator should report an error after client disconnect")
+	}
+}
+
+// TestCoordinatorRejectsGarbageHello: a connection speaking a different
+// protocol must not wedge the handshake.
+func TestCoordinatorRejectsGarbageHello(t *testing.T) {
+	coord := &Coordinator{NumClients: 1, Rounds: 1, Initial: []float64{1}}
+	addrCh := make(chan string, 1)
+	var (
+		srvErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, srvErr = coord.ListenAndRun("127.0.0.1:0", func(a string) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator hung on garbage hello")
+	}
+	if srvErr == nil {
+		t.Fatal("coordinator should reject a malformed hello")
+	}
+}
+
+// failingClient errors on its first local-training call.
+type failingClient struct{ id int }
+
+func (c *failingClient) ID() int         { return c.id }
+func (c *failingClient) NumSamples() int { return 1 }
+func (c *failingClient) TrainLocal(int, []float64) (fl.Update, error) {
+	return fl.Update{}, errTrain
+}
+
+var errTrain = &trainError{}
+
+type trainError struct{}
+
+func (*trainError) Error() string { return "train failed" }
+
+// TestRunClientPropagatesTrainError: a client whose local training fails
+// must return the error to its operator (and the coordinator sees the
+// closed stream).
+func TestRunClientPropagatesTrainError(t *testing.T) {
+	coord := &Coordinator{NumClients: 1, Rounds: 2, Initial: []float64{0}}
+	addrCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		coord.ListenAndRun("127.0.0.1:0", func(a string) { addrCh <- a }) //nolint:errcheck
+	}()
+	addr := <-addrCh
+
+	err := RunClient(addr, &failingClient{id: 0})
+	if err == nil {
+		t.Fatal("RunClient should propagate the training error")
+	}
+	wg.Wait()
+}

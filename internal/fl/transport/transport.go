@@ -1,0 +1,176 @@
+// Package transport runs the FedAvg protocol of internal/fl over TCP with
+// gob-encoded messages, so clients and the aggregation server can live in
+// separate processes (or machines). The in-process engine remains the
+// default for experiments; this package demonstrates and tests the
+// distributed deployment path on the loopback interface.
+//
+// Protocol (synchronous, one gob stream per client):
+//
+//	client → server: hello{ID, NumSamples}
+//	repeat for each round:
+//	    server → client: roundMsg{Round, Params}
+//	    client → server: updateMsg{Update}
+//	server → client: roundMsg{Done: true}
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+type hello struct {
+	ID         int
+	NumSamples int
+}
+
+type roundMsg struct {
+	Round  int
+	Params []float64
+	Done   bool
+}
+
+type updateMsg struct {
+	U fl.Update
+}
+
+// Coordinator is the server side of the wire protocol.
+type Coordinator struct {
+	// NumClients is how many client connections to wait for before round 0.
+	NumClients int
+	// Rounds is the number of communication rounds to run.
+	Rounds int
+	// Initial is the initial global parameter vector.
+	Initial []float64
+	// Observers receive the same per-round view as in-process observers.
+	Observers []fl.RoundObserver
+}
+
+type clientConn struct {
+	id   int
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	conn net.Conn
+}
+
+// ListenAndRun listens on addr, waits for NumClients clients, runs the
+// configured number of rounds, and returns the final global parameters.
+// Passing ":0" style addresses is supported; the bound address is reported
+// through the optional ready callback before blocking on accepts.
+func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([]float64, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	conns := make([]*clientConn, 0, c.NumClients)
+	for len(conns) < c.NumClients {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		cc := &clientConn{
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+			conn: conn,
+		}
+		var h hello
+		if err := cc.dec.Decode(&h); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: reading hello: %w", err)
+		}
+		cc.id = h.ID
+		conns = append(conns, cc)
+	}
+	defer func() {
+		for _, cc := range conns {
+			cc.conn.Close()
+		}
+	}()
+	// Deterministic aggregation order regardless of connect order.
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+
+	global := make([]float64, len(c.Initial))
+	copy(global, c.Initial)
+
+	for round := 0; round < c.Rounds; round++ {
+		updates := make([]fl.Update, len(conns))
+		errs := make([]error, len(conns))
+		var wg sync.WaitGroup
+		for i, cc := range conns {
+			wg.Add(1)
+			go func(i int, cc *clientConn) {
+				defer wg.Done()
+				if err := cc.enc.Encode(roundMsg{Round: round, Params: global}); err != nil {
+					errs[i] = fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
+					return
+				}
+				var um updateMsg
+				if err := cc.dec.Decode(&um); err != nil {
+					errs[i] = fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
+					return
+				}
+				updates[i] = um.U
+			}(i, cc)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		snapshot := make([]float64, len(global))
+		copy(snapshot, global)
+		for _, o := range c.Observers {
+			o.ObserveRound(round, snapshot, updates)
+		}
+		global = fl.Aggregate(updates)
+	}
+
+	for _, cc := range conns {
+		if err := cc.enc.Encode(roundMsg{Done: true}); err != nil {
+			return nil, fmt.Errorf("transport: sending done to client %d: %w", cc.id, err)
+		}
+	}
+	return global, nil
+}
+
+// RunClient connects a local fl.Client to a coordinator at addr and
+// participates until the coordinator signals completion.
+func RunClient(addr string, client fl.Client) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(hello{ID: client.ID(), NumSamples: client.NumSamples()}); err != nil {
+		return fmt.Errorf("transport: sending hello: %w", err)
+	}
+	for {
+		var rm roundMsg
+		if err := dec.Decode(&rm); err != nil {
+			return fmt.Errorf("transport: reading round: %w", err)
+		}
+		if rm.Done {
+			return nil
+		}
+		u, err := client.TrainLocal(rm.Round, rm.Params)
+		if err != nil {
+			return fmt.Errorf("transport: local training round %d: %w", rm.Round, err)
+		}
+		if err := enc.Encode(updateMsg{U: u}); err != nil {
+			return fmt.Errorf("transport: sending update: %w", err)
+		}
+	}
+}

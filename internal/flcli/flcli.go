@@ -1,0 +1,88 @@
+// Package flcli holds the small amount of logic the multi-process FL
+// commands (cmd/flserver, cmd/flclient) share: flag parsing for dataset
+// presets and the on-disk format of a federated global model.
+package flcli
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/model"
+)
+
+// ParseDataset maps the CLI names onto presets and scales.
+func ParseDataset(name, scaleName string) (datasets.Preset, datasets.Scale, error) {
+	var p datasets.Preset
+	switch strings.ToLower(name) {
+	case "cifar100", "cifar-100":
+		p = datasets.CIFAR100
+	case "cifaraug", "cifar-aug":
+		p = datasets.CIFARAUG
+	case "chmnist", "ch-mnist":
+		p = datasets.CHMNIST
+	case "purchase50", "purchase-50":
+		p = datasets.Purchase50
+	default:
+		return 0, 0, fmt.Errorf("unknown dataset %q (want cifar100, cifaraug, chmnist, purchase50)", name)
+	}
+	switch scaleName {
+	case "quick":
+		return p, datasets.Quick, nil
+	case "full":
+		return p, datasets.Full, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown preset %q (want quick or full)", scaleName)
+	}
+}
+
+// ArchFor picks the backbone family the multi-process federation uses for
+// a dataset (VGG for images — the fast family — and MLP for tabular).
+func ArchFor(p datasets.Preset) model.Arch {
+	if p == datasets.Purchase50 {
+		return model.MLP
+	}
+	return model.VGG
+}
+
+// Global is the on-disk format of a federated global model produced by
+// flserver: enough metadata to reconstruct the architecture plus the
+// parameter vector. Clients keep their own t; it is never part of this.
+type Global struct {
+	Preset datasets.Preset
+	Scale  datasets.Scale
+	Seed   int64
+	Arch   model.Arch
+	Params []float64
+}
+
+// SaveGlobal writes the global model with gob encoding.
+func SaveGlobal(path string, p datasets.Preset, s datasets.Scale, seed int64,
+	arch model.Arch, params []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flcli: saving global model: %w", err)
+	}
+	defer f.Close()
+	g := Global{Preset: p, Scale: s, Seed: seed, Arch: arch, Params: params}
+	if err := gob.NewEncoder(f).Encode(&g); err != nil {
+		return fmt.Errorf("flcli: encoding global model: %w", err)
+	}
+	return nil
+}
+
+// LoadGlobal reads a global model written by SaveGlobal.
+func LoadGlobal(path string) (*Global, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flcli: loading global model: %w", err)
+	}
+	defer f.Close()
+	var g Global
+	if err := gob.NewDecoder(f).Decode(&g); err != nil {
+		return nil, fmt.Errorf("flcli: decoding global model: %w", err)
+	}
+	return &g, nil
+}

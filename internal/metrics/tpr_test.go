@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTPRAtFPRPerfectSeparation(t *testing.T) {
+	scores := []float64{10, 9, 8, 1, 2, 3}
+	labels := []bool{true, true, true, false, false, false}
+	if got := TPRAtFPR(scores, labels, 0.0); got != 1 {
+		t.Fatalf("TPR@FPR=0 on separable scores = %v, want 1", got)
+	}
+}
+
+func TestTPRAtFPRRandomScoresIsLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = i%2 == 0
+	}
+	got := TPRAtFPR(scores, labels, 0.01)
+	if got > 0.05 {
+		t.Fatalf("TPR@1%%FPR with random scores = %v, want ≈0.01", got)
+	}
+}
+
+func TestTPRAtFPRMonotoneInFPR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = i%2 == 0
+		scores[i] = rng.NormFloat64()
+		if labels[i] {
+			scores[i] += 1 // partial separation
+		}
+	}
+	prev := -1.0
+	for _, f := range []float64{0.01, 0.05, 0.1, 0.5} {
+		got := TPRAtFPR(scores, labels, f)
+		if got < prev {
+			t.Fatalf("TPR not monotone in FPR budget: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	if prev < 0.5 {
+		t.Fatalf("TPR@50%%FPR on shifted Gaussians = %v, want well above 0.5", prev)
+	}
+}
+
+func TestTPRAtFPRDegenerate(t *testing.T) {
+	if got := TPRAtFPR([]float64{1, 2}, []bool{true, true}, 0.1); got != 0 {
+		t.Fatalf("no negatives should yield 0, got %v", got)
+	}
+	if got := TPRAtFPR(nil, nil, 0.1); got != 0 {
+		t.Fatalf("empty input should yield 0, got %v", got)
+	}
+}
+
+func TestTPRAtFPRFullBudget(t *testing.T) {
+	// With FPR budget 1.0 every member can be flagged.
+	scores := []float64{1, 2, 3, 4}
+	labels := []bool{true, false, true, false}
+	if got := TPRAtFPR(scores, labels, 1.0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TPR@FPR=1 = %v, want 1", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package model provides the backbone zoo used throughout the evaluation:
+// CPU-scale stand-ins for the paper's ResNet-50, DenseNet, VGG, and MLP
+// backbones. Each tiny backbone keeps the connectivity pattern that
+// characterizes its family (identity skips, channel concatenation, plain
+// stacking) and the families keep the paper's relative capacity ordering
+// (ResNet > DenseNet > VGG in parameter count, Table XI).
+//
+// A backbone maps an input batch to a flat feature matrix [N, FeatDim],
+// and a Classifier attaches a dense softmax head. The backbone is exposed
+// separately because CIP's dual-channel architecture (paper Fig. 3) runs
+// two blended inputs through one shared backbone.
+//
+// The paper's backbones end in global average pooling over 512-2048
+// channel maps; at our 8×8 resolution with ≤26 channels GAP would collapse
+// the representation to a handful of scalars, destroying both accuracy and
+// the memorization capacity membership inference feeds on. The tiny
+// backbones therefore end in a flatten of the final (pooled) feature maps,
+// which preserves an equivalent relative feature capacity — the
+// dual-channel head consumes the flat feature vector either way.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// Arch selects a backbone family.
+type Arch int
+
+// Backbone families. The image families mirror the paper's three
+// convolutional backbones; MLP is the Purchase-50 tabular model.
+const (
+	ResNet Arch = iota + 1
+	DenseNet
+	VGG
+	MLP
+)
+
+// String returns the family name.
+func (a Arch) String() string {
+	switch a {
+	case ResNet:
+		return "ResNet"
+	case DenseNet:
+		return "DenseNet"
+	case VGG:
+		return "VGG"
+	case MLP:
+		return "MLP"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Input describes the model input: C×H×W images when H and W are non-zero,
+// otherwise flat feature vectors of length C.
+type Input struct {
+	C, H, W int
+}
+
+// IsImage reports whether the input is a spatial image.
+func (in Input) IsImage() bool { return in.H > 0 && in.W > 0 }
+
+// Size returns the number of scalars in one input sample.
+func (in Input) Size() int {
+	if in.IsImage() {
+		return in.C * in.H * in.W
+	}
+	return in.C
+}
+
+// Backbone is a feature extractor ending in a flat [N, FeatDim] output.
+type Backbone struct {
+	Net     nn.Layer
+	FeatDim int
+}
+
+// Forward implements nn.Layer.
+func (b *Backbone) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, nn.Cache) {
+	return b.Net.Forward(x, train)
+}
+
+// Backward implements nn.Layer.
+func (b *Backbone) Backward(cache nn.Cache, grad *tensor.Tensor) *tensor.Tensor {
+	return b.Net.Backward(cache, grad)
+}
+
+// Params implements nn.Layer.
+func (b *Backbone) Params() []*nn.Param { return b.Net.Params() }
+
+// NewBackbone builds a backbone of the given family for the given input.
+func NewBackbone(rng *rand.Rand, arch Arch, in Input) *Backbone {
+	switch arch {
+	case ResNet:
+		return newTinyResNet(rng, in)
+	case DenseNet:
+		return newTinyDenseNet(rng, in)
+	case VGG:
+		return newTinyVGG(rng, in)
+	case MLP:
+		return newMLP(rng, in)
+	default:
+		panic(fmt.Sprintf("model: unknown architecture %v", arch))
+	}
+}
+
+func assertImage(arch Arch, in Input) {
+	if !in.IsImage() {
+		panic(fmt.Sprintf("model: %v backbone requires image input, got %+v", arch, in))
+	}
+}
+
+// newTinyResNet: stem conv + two residual stages. Widest of the zoo,
+// mirroring ResNet-50 being the largest backbone in the paper's Table XI.
+func newTinyResNet(rng *rand.Rand, in Input) *Backbone {
+	assertImage(ResNet, in)
+	const width = 16
+	stem := tensor.ConvGeom{InC: in.C, InH: in.H, InW: in.W, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	resGeom := tensor.ConvGeom{InC: width, InH: in.H, InW: in.W, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	// Batch norm is deliberately absent: the FL substrate exchanges exactly
+	// the parameter vector, and BN running statistics live outside it.
+	// Without BN, stacked identity skips compound activation variance, so
+	// the residual branch's closing conv starts near zero (the standard
+	// zero-init-residual trick) and each block begins as the identity.
+	block := func(g tensor.ConvGeom) nn.Layer {
+		closing := nn.NewConv2D(rng, g, width)
+		tensor.ScaleInPlace(closing.W.Value, 0.05)
+		return &nn.Residual{Body: nn.NewSequential(
+			nn.NewConv2D(rng, g, width),
+			nn.ReLU{},
+			closing,
+		)}
+	}
+	ph, pw := in.H/2, in.W/2
+	resGeom2 := tensor.ConvGeom{InC: width, InH: ph, InW: pw, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, stem, width),
+		nn.ReLU{},
+		block(resGeom),
+		nn.ReLU{},
+		nn.MaxPool2D{Size: 2},
+		block(resGeom2),
+		nn.ReLU{},
+		nn.Flatten{},
+	)
+	return &Backbone{Net: net, FeatDim: width * ph * pw}
+}
+
+// newTinyDenseNet: stem conv + two concatenative dense blocks.
+func newTinyDenseNet(rng *rand.Rand, in Input) *Backbone {
+	assertImage(DenseNet, in)
+	const (
+		stemC  = 8
+		growth = 6
+	)
+	stem := tensor.ConvGeom{InC: in.C, InH: in.H, InW: in.W, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	dense := func(c, h, w int) nn.Layer {
+		g := tensor.ConvGeom{InC: c, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}
+		return &nn.DenseBlock{Body: nn.NewSequential(
+			nn.NewConv2D(rng, g, growth),
+			nn.ReLU{},
+		)}
+	}
+	c1 := stemC + growth
+	c2 := c1 + growth
+	ph, pw := in.H/2, in.W/2
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, stem, stemC),
+		nn.ReLU{},
+		dense(stemC, in.H, in.W),
+		dense(c1, in.H, in.W),
+		nn.MaxPool2D{Size: 2},
+		dense(c2, ph, pw),
+		nn.ReLU{},
+		nn.Flatten{},
+	)
+	return &Backbone{Net: net, FeatDim: (c2 + growth) * ph * pw}
+}
+
+// newTinyVGG: plain conv/pool stacking, the smallest family.
+func newTinyVGG(rng *rand.Rand, in Input) *Backbone {
+	assertImage(VGG, in)
+	const w1, w2 = 10, 14
+	g1 := tensor.ConvGeom{InC: in.C, InH: in.H, InW: in.W, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	g2 := tensor.ConvGeom{InC: w1, InH: in.H, InW: in.W, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	ph, pw := in.H/2, in.W/2
+	g3 := tensor.ConvGeom{InC: w1, InH: ph, InW: pw, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, g1, w1),
+		nn.ReLU{},
+		nn.NewConv2D(rng, g2, w1),
+		nn.ReLU{},
+		nn.MaxPool2D{Size: 2},
+		nn.NewConv2D(rng, g3, w2),
+		nn.ReLU{},
+		nn.Flatten{},
+	)
+	return &Backbone{Net: net, FeatDim: w2 * ph * pw}
+}
+
+// newMLP: the paper's Purchase-50 model — three dense layers (512/256/128).
+func newMLP(rng *rand.Rand, in Input) *Backbone {
+	if in.IsImage() {
+		panic(fmt.Sprintf("model: MLP backbone requires flat input, got %+v", in))
+	}
+	net := nn.NewSequential(
+		nn.NewDense(rng, in.C, 512),
+		nn.ReLU{},
+		nn.NewDense(rng, 512, 256),
+		nn.ReLU{},
+		nn.NewDense(rng, 256, 128),
+		nn.ReLU{},
+	)
+	return &Backbone{Net: net, FeatDim: 128}
+}
+
+// Classifier is a backbone plus a dense softmax head producing logits.
+// It implements nn.Layer.
+type Classifier struct {
+	Arch       Arch
+	In         Input
+	NumClasses int
+	Backbone   *Backbone
+	Head       *nn.Dense
+
+	net *nn.Sequential
+}
+
+// NewClassifier builds a classifier of the given family.
+func NewClassifier(rng *rand.Rand, arch Arch, in Input, numClasses int) *Classifier {
+	bb := NewBackbone(rng, arch, in)
+	head := nn.NewDense(rng, bb.FeatDim, numClasses)
+	return &Classifier{
+		Arch:       arch,
+		In:         in,
+		NumClasses: numClasses,
+		Backbone:   bb,
+		Head:       head,
+		net:        nn.NewSequential(bb, head),
+	}
+}
+
+// Forward implements nn.Layer.
+func (c *Classifier) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, nn.Cache) {
+	return c.net.Forward(x, train)
+}
+
+// Backward implements nn.Layer.
+func (c *Classifier) Backward(cache nn.Cache, grad *tensor.Tensor) *tensor.Tensor {
+	return c.net.Backward(cache, grad)
+}
+
+// Params implements nn.Layer.
+func (c *Classifier) Params() []*nn.Param { return c.net.Params() }
+
+// NumParams returns the number of scalar parameters.
+func (c *Classifier) NumParams() int { return nn.NumParams(c.Params()) }
+
+var _ nn.Layer = (*Classifier)(nil)
+var _ nn.Layer = (*Backbone)(nil)

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+var imgIn = Input{C: 3, H: 8, W: 8}
+
+func TestBackboneShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, arch := range []Arch{ResNet, DenseNet, VGG} {
+		t.Run(arch.String(), func(t *testing.T) {
+			bb := NewBackbone(rng, arch, imgIn)
+			x := tensor.New(2, imgIn.C, imgIn.H, imgIn.W)
+			x.RandNormal(rng, 0, 1)
+			out, _ := bb.Forward(x, true)
+			if out.Shape[0] != 2 || out.Shape[1] != bb.FeatDim {
+				t.Fatalf("%v backbone output shape = %v, want [2 %d]", arch, out.Shape, bb.FeatDim)
+			}
+		})
+	}
+}
+
+func TestMLPBackboneShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bb := NewBackbone(rng, MLP, Input{C: 30})
+	x := tensor.New(3, 30)
+	x.RandNormal(rng, 0, 1)
+	out, _ := bb.Forward(x, false)
+	if out.Shape[0] != 3 || out.Shape[1] != 128 {
+		t.Fatalf("MLP output shape = %v, want [3 128]", out.Shape)
+	}
+}
+
+func TestClassifierLogitsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewClassifier(rng, VGG, imgIn, 10)
+	x := tensor.New(4, imgIn.C, imgIn.H, imgIn.W)
+	x.RandNormal(rng, 0, 1)
+	logits, _ := c.Forward(x, false)
+	if logits.Shape[0] != 4 || logits.Shape[1] != 10 {
+		t.Fatalf("logits shape = %v, want [4 10]", logits.Shape)
+	}
+}
+
+// TestParamOrdering reproduces Table XI's capacity ordering:
+// ResNet > DenseNet > VGG.
+func TestParamOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := NewClassifier(rng, ResNet, imgIn, 10).NumParams()
+	d := NewClassifier(rng, DenseNet, imgIn, 10).NumParams()
+	v := NewClassifier(rng, VGG, imgIn, 10).NumParams()
+	if !(r > d && d > v) {
+		t.Fatalf("param ordering ResNet(%d) > DenseNet(%d) > VGG(%d) violated", r, d, v)
+	}
+}
+
+func TestClassifierGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	small := Input{C: 2, H: 6, W: 6}
+	for _, arch := range []Arch{ResNet, DenseNet, VGG} {
+		t.Run(arch.String(), func(t *testing.T) {
+			c := NewClassifier(rng, arch, small, 3)
+			x := tensor.New(2, small.C, small.H, small.W)
+			x.RandNormal(rng, 0, 1)
+			labels := []int{0, 2}
+			if rel := nn.GradCheck(c, x, labels, 97); rel > 1e-3 {
+				t.Fatalf("%v grad check max relative error %v", arch, rel)
+			}
+		})
+	}
+}
+
+func TestClassifierLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewClassifier(rng, VGG, Input{C: 1, H: 6, W: 6}, 2)
+	// Class 0: bright top half. Class 1: bright bottom half.
+	n := 16
+	x := tensor.New(n, 1, 6, 6)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % 2
+		for y := 0; y < 6; y++ {
+			for xx := 0; xx < 6; xx++ {
+				v := 0.1 * rng.NormFloat64()
+				if (labels[i] == 0) == (y < 3) {
+					v += 1
+				}
+				x.Set(v, i, 0, y, xx)
+			}
+		}
+	}
+	opt := &nn.SGD{LR: 0.05, Momentum: 0.9}
+	for i := 0; i < 40; i++ {
+		nn.ZeroGrads(c.Params())
+		logits, cache := c.Forward(x, true)
+		res := nn.SoftmaxCrossEntropy(logits, labels)
+		c.Backward(cache, res.Grad)
+		opt.Step(c.Params())
+	}
+	logits, _ := c.Forward(x, false)
+	if acc := nn.Accuracy(logits, labels); acc < 0.9 {
+		t.Fatalf("classifier failed to fit separable data: accuracy %v", acc)
+	}
+}
+
+func TestMLPRequiresFlatInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MLP with image input")
+		}
+	}()
+	NewBackbone(rng, MLP, imgIn)
+}
+
+func TestImageArchRequiresImageInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for conv backbone with flat input")
+		}
+	}()
+	NewBackbone(rng, ResNet, Input{C: 20})
+}
+
+func TestArchString(t *testing.T) {
+	tests := map[Arch]string{ResNet: "ResNet", DenseNet: "DenseNet", VGG: "VGG", MLP: "MLP"}
+	for arch, want := range tests {
+		if got := arch.String(); got != want {
+			t.Errorf("Arch(%d).String() = %q, want %q", int(arch), got, want)
+		}
+	}
+}
+
+func TestInputSize(t *testing.T) {
+	if got := (Input{C: 3, H: 4, W: 5}).Size(); got != 60 {
+		t.Errorf("image input size = %d, want 60", got)
+	}
+	if got := (Input{C: 17}).Size(); got != 17 {
+		t.Errorf("flat input size = %d, want 17", got)
+	}
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct{}
+
+type reluCache struct {
+	mask []bool
+}
+
+// Forward zeroes negative activations.
+func (ReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	out := tensor.New(x.Shape...)
+	mask := make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			mask[i] = true
+		}
+	}
+	return out, &reluCache{mask: mask}
+}
+
+// Backward gates the gradient by the forward activation mask.
+func (ReLU) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*reluCache)
+	out := tensor.New(grad.Shape...)
+	for i, m := range c.mask {
+		if m {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is ReLU with a small negative slope.
+type LeakyReLU struct {
+	Slope float64
+}
+
+type leakyCache struct {
+	neg []bool
+}
+
+// Forward scales negative activations by Slope.
+func (l LeakyReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	out := tensor.New(x.Shape...)
+	neg := make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.Slope * v
+			neg[i] = true
+		}
+	}
+	return out, &leakyCache{neg: neg}
+}
+
+// Backward scales gradients on the negative side by Slope.
+func (l LeakyReLU) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*leakyCache)
+	out := tensor.New(grad.Shape...)
+	for i, n := range c.neg {
+		if n {
+			out.Data[i] = l.Slope * grad.Data[i]
+		} else {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil; LeakyReLU has no parameters.
+func (LeakyReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{}
+
+type tanhCache struct {
+	y *tensor.Tensor
+}
+
+// Forward applies tanh elementwise.
+func (Tanh) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	return out, &tanhCache{y: out}
+}
+
+// Backward multiplies the gradient by 1 − tanh².
+func (Tanh) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*tanhCache)
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := c.y.Data[i]
+		out.Data[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (Tanh) Params() []*Param { return nil }

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with OIHW kernels,
+// implemented via im2col lowering to a single matmul.
+type Conv2D struct {
+	Geom tensor.ConvGeom
+	OutC int
+	W    *Param // [OutC, InC*KH*KW]
+	B    *Param // [OutC]
+}
+
+// NewConv2D constructs a convolution with He initialization. It panics on a
+// degenerate geometry; layer construction errors are programmer errors.
+func NewConv2D(rng *rand.Rand, g tensor.ConvGeom, outC int) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: %v", err))
+	}
+	fanIn := g.InC * g.KH * g.KW
+	c := &Conv2D{
+		Geom: g,
+		OutC: outC,
+		W:    NewParam("conv.w", outC, fanIn),
+		B:    NewParam("conv.b", outC),
+	}
+	c.W.Value.HeInit(rng, fanIn)
+	return c
+}
+
+type convCache struct {
+	cols *tensor.Tensor // [N*OH*OW, InC*KH*KW]
+	n    int
+}
+
+// Forward computes the convolution for x of shape [N, InC, InH, InW].
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	g := c.Geom
+	n := x.Shape[0]
+	cols := tensor.Im2Col(x, g)                  // [N*OH*OW, K]
+	prod := tensor.MatMulTransB(cols, c.W.Value) // [N*OH*OW, OutC]
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(n, c.OutC, oh, ow)
+	spatial := oh * ow
+	for b := 0; b < n; b++ {
+		for s := 0; s < spatial; s++ {
+			row := prod.Data[(b*spatial+s)*c.OutC : (b*spatial+s+1)*c.OutC]
+			for oc, v := range row {
+				out.Data[(b*c.OutC+oc)*spatial+s] = v + c.B.Value.Data[oc]
+			}
+		}
+	}
+	return out, &convCache{cols: cols, n: n}
+}
+
+// Backward accumulates kernel/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*convCache)
+	g := c.Geom
+	oh, ow := g.OutH(), g.OutW()
+	spatial := oh * ow
+	n := cc.n
+
+	// Reorder grad [N, OutC, OH, OW] into row-major [N*OH*OW, OutC].
+	gm := tensor.New(n*spatial, c.OutC)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := (b*c.OutC + oc) * spatial
+			for s := 0; s < spatial; s++ {
+				gm.Data[(b*spatial+s)*c.OutC+oc] = grad.Data[base+s]
+			}
+		}
+	}
+
+	dW := tensor.MatMulTransA(gm, cc.cols) // [OutC, K]
+	tensor.AddInPlace(c.W.Grad, dW)
+	for r := 0; r < n*spatial; r++ {
+		row := gm.Data[r*c.OutC : (r+1)*c.OutC]
+		for oc, v := range row {
+			c.B.Grad.Data[oc] += v
+		}
+	}
+
+	gradCols := tensor.MatMul(gm, c.W.Value) // [N*OH*OW, K]
+	return tensor.Col2Im(gradCols, n, g)
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

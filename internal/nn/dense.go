@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// Dense is a fully connected layer: out = x·Wᵀ + b for x of shape [N, in].
+type Dense struct {
+	In, Out int
+	W       *Param // [Out, In]
+	B       *Param // [Out]
+}
+
+// NewDense constructs a Dense layer with He initialization.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam("dense.w", out, in),
+		B:   NewParam("dense.b", out),
+	}
+	d.W.Value.HeInit(rng, in)
+	return d
+}
+
+type denseCache struct {
+	x *tensor.Tensor
+}
+
+// Forward computes x·Wᵀ + b.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	out := tensor.MatMulTransB(x, d.W.Value) // [N, Out]
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.B.Value.Data[j]
+		}
+	}
+	return out, &denseCache{x: x}
+}
+
+// Backward accumulates dW = gradᵀ·x and db = Σ grad, returning grad·W.
+func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*denseCache)
+	dW := tensor.MatMulTransA(grad, c.x) // [Out, In]
+	tensor.AddInPlace(d.W.Grad, dW)
+	n := grad.Shape[0]
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			d.B.Grad.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMul(grad, d.W.Value) // [N, In]
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+func TestSoftmaxExtremLogitsStable(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1e6, -1e6, 0}, 1, 3)
+	p := Softmax(logits)
+	for _, v := range p.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax produced non-finite value: %v", p.Data)
+		}
+	}
+	if math.Abs(p.Data[0]-1) > 1e-9 {
+		t.Fatalf("dominant logit probability = %v, want ≈1", p.Data[0])
+	}
+}
+
+func TestCrossEntropyInvalidLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 3), []int{7})
+}
+
+func TestCrossEntropyLabelCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for label/row mismatch")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(2, 3), []int{0})
+}
+
+func TestSequentialEmptyIsIdentity(t *testing.T) {
+	s := NewSequential()
+	x := tensor.FromSlice([]float64{1, 2, 3}, 1, 3)
+	out, cache := s.Forward(x, true)
+	if !tensor.Equal(out, x, 0) {
+		t.Fatal("empty Sequential should pass input through")
+	}
+	grad := tensor.FromSlice([]float64{4, 5, 6}, 1, 3)
+	back := s.Backward(cache, grad)
+	if !tensor.Equal(back, grad, 0) {
+		t.Fatal("empty Sequential should pass gradient through")
+	}
+}
+
+func TestSequentialBackwardWrongCachePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSequential(NewDense(rng, 2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign cache type")
+		}
+	}()
+	s.Backward("not a cache", tensor.New(1, 2))
+}
+
+func TestClipGradNormNoopBelowBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(rng, 3, 3)
+	d.W.Grad.Fill(0.001)
+	before := append([]float64(nil), d.W.Grad.Data...)
+	ClipGradNorm(d.Params(), 10)
+	for i, v := range d.W.Grad.Data {
+		if v != before[i] {
+			t.Fatal("clip modified gradients already below the bound")
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := Accuracy(tensor.New(0, 3), nil); got != 0 {
+		t.Fatalf("empty accuracy = %v, want 0", got)
+	}
+}
+
+func TestAdamStateIsolatedPerParam(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewDense(rng, 2, 2)
+	b := NewDense(rng, 2, 2)
+	opt := NewAdam(0.1)
+	a.W.Grad.Fill(1)
+	opt.Step(a.Params())
+	// Stepping a second, never-seen parameter set must not disturb a's state.
+	b.W.Grad.Fill(-1)
+	opt.Step(b.Params())
+	if a.W.Value.Data[0] == b.W.Value.Data[0] {
+		t.Skip("values coincide by chance; nothing to assert")
+	}
+}
+
+func TestMomentumAcceleratesDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	plain := NewDense(rng, 1, 1)
+	moment := NewDense(rng, 1, 1)
+	moment.W.Value.Data[0] = plain.W.Value.Data[0]
+
+	optP := &SGD{LR: 0.01}
+	optM := &SGD{LR: 0.01, Momentum: 0.9}
+	for i := 0; i < 10; i++ {
+		plain.W.Grad.Data[0] = 1
+		moment.W.Grad.Data[0] = 1
+		optP.Step(plain.Params())
+		optM.Step(moment.Params())
+	}
+	// With a constant gradient, momentum must have traveled further.
+	if moment.W.Value.Data[0] >= plain.W.Value.Data[0] {
+		t.Fatalf("momentum (%v) should descend past plain SGD (%v)",
+			moment.W.Value.Data[0], plain.W.Value.Data[0])
+	}
+}

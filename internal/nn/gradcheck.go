@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of mean-CE(net(x), labels) with
+// central finite differences over a subset of parameters and the input.
+// It returns the maximum relative error observed. Tests assert this is tiny;
+// it is exported so model-zoo tests in other packages can reuse it.
+func GradCheck(net Layer, x *tensor.Tensor, labels []int, probeEvery int) float64 {
+	const h = 1e-5
+	params := net.Params()
+	ZeroGrads(params)
+
+	logits, cache := net.Forward(x, true)
+	res := SoftmaxCrossEntropy(logits, labels)
+	inputGrad := net.Backward(cache, res.Grad)
+
+	lossAt := func() float64 {
+		lg, _ := net.Forward(x, true)
+		return SoftmaxCrossEntropy(lg, labels).Loss
+	}
+
+	maxRel := 0.0
+	check := func(analytic float64, bump func(delta float64)) {
+		bump(h)
+		lPlus := lossAt()
+		bump(-2 * h)
+		lMinus := lossAt()
+		bump(h)
+		numeric := (lPlus - lMinus) / (2 * h)
+		denom := math.Max(1e-6, math.Abs(analytic)+math.Abs(numeric))
+		rel := math.Abs(analytic-numeric) / denom
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+
+	if probeEvery < 1 {
+		probeEvery = 1
+	}
+	for _, p := range params {
+		for i := 0; i < p.Value.Size(); i += probeEvery {
+			i := i
+			check(p.Grad.Data[i], func(d float64) { p.Value.Data[i] += d })
+		}
+	}
+	for i := 0; i < x.Size(); i += probeEvery {
+		i := i
+		check(inputGrad.Data[i], func(d float64) { x.Data[i] += d })
+	}
+	return maxRel
+}

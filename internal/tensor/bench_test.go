@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMats(n int) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(n, n), New(n, n)
+	a.RandNormal(rng, 0, 1)
+	b.RandNormal(rng, 0, 1)
+	return a, b
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchMats(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	x, y := benchMats(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTransB128(b *testing.B) {
+	x, y := benchMats(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := ConvGeom{InC: 3, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(32, 3, 12, 12)
+	x.RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Im2Col(x, g)
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConvGeom{InC: 3, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(32, 3, 12, 12)
+	x.RandNormal(rng, 0, 1)
+	cols := Im2Col(x, g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Col2Im(cols, 32, g)
+	}
+}

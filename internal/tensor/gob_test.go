@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// TestGobRoundTrip: tensors must survive gob encoding unchanged — the
+// transport layer and model artifacts depend on it.
+func TestGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(2, 3, 4)
+	x.RandNormal(rng, 0, 1)
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+		t.Fatal(err)
+	}
+	var back Tensor
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(x, &back, 0) {
+		t.Fatal("gob round trip changed tensor contents")
+	}
+}
+
+func TestGobEmptyTensor(t *testing.T) {
+	x := New(0)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+		t.Fatal(err)
+	}
+	var back Tensor
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 0 {
+		t.Fatalf("empty tensor round trip size = %d", back.Size())
+	}
+}

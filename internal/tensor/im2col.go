@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution. Images are stored
+// NCHW (batch, channels, height, width) and kernels OIHW.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel height / width
+	Stride, Pad   int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate returns an error when the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive dims: %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: conv stride must be positive, got %d", g.Stride)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("tensor: conv pad must be non-negative, got %d", g.Pad)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry yields empty output: %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a batch of NCHW images x (shape [N, C, H, W]) into a matrix
+// of shape [N*OutH*OutW, C*KH*KW], so that convolution becomes one matmul
+// against the reshaped kernel.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	n := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(n*oh*ow, g.InC*g.KH*g.KW)
+	rowLen := g.InC * g.KH * g.KW
+	imgLen := g.InC * g.InH * g.InW
+
+	parallelRows(n, n*oh*ow*rowLen, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			img := x.Data[b*imgLen : (b+1)*imgLen]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((b*oh+oy)*ow+ox)*rowLen : ((b*oh+oy)*ow+ox+1)*rowLen]
+					idx := 0
+					for c := 0; c < g.InC; c++ {
+						chOff := c * g.InH * g.InW
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									row[idx] = img[chOff+iy*g.InW+ix]
+								} else {
+									row[idx] = 0
+								}
+								idx++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im scatters a columns matrix (as produced by Im2Col) back into an
+// NCHW image tensor, accumulating overlapping contributions. It is the
+// adjoint of Im2Col and is used in the convolution backward pass.
+func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	out := New(n, g.InC, g.InH, g.InW)
+	imgLen := g.InC * g.InH * g.InW
+
+	// Accumulation into overlapping pixels makes per-batch parallelism the
+	// only safe fan-out (rows within one image overlap).
+	parallelRows(n, n*oh*ow*rowLen, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			img := out.Data[b*imgLen : (b+1)*imgLen]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((b*oh+oy)*ow+ox)*rowLen : ((b*oh+oy)*ow+ox+1)*rowLen]
+					idx := 0
+					for c := 0; c < g.InC; c++ {
+						chOff := c * g.InH * g.InW
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									img[chOff+iy*g.InW+ix] += row[idx]
+								}
+								idx++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the matrix volume (rows*cols*inner) above which
+// MatMul fans out across goroutines. Below it the goroutine overhead
+// outweighs the parallel speedup.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a·b for 2-D tensors a (m×k) and b (k×n).
+// Large products are computed in parallel across row blocks.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v·%v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulTransA returns aᵀ·b where a is k×m and b is k×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v·%v", a.Shape, b.Shape))
+	}
+	n := b.Shape[1]
+	// Transpose a once; the row-major kernel is much more cache friendly
+	// than striding through a column-wise.
+	at := Transpose(a)
+	out := New(m, n)
+	matmulInto(out.Data, at.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulTransB returns a·bᵀ where a is m×k and b is n×k.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v·%v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += ar[p] * br[p]
+				}
+				out.Data[i*n+j] = s
+			}
+		}
+	})
+	return out
+}
+
+// matmulInto computes out = a·b with a m×k, b k×n, all row-major flat
+// slices, using an ikj loop order (streaming writes over out rows).
+func matmulInto(out, a, b []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a[i*k+p]
+				if av == 0 {
+					continue
+				}
+				br := b[p*n : (p+1)*n]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
+// in parallel when volume exceeds parallelThreshold.
+func parallelRows(rows, volume int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if volume < parallelThreshold || workers < 2 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs a 2-D operand, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns a·x for a 2-D a (m×n) and a flat x of length n.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVec needs a 2-D matrix, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if x.Size() != n {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v·%v", a.Shape, x.Shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
