@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector slows the heavyweight experiment replays ~10-20x past
+# the default go-test timeout; they honor -short and are covered without
+# race by `make test`. Every concurrency path (fl, transport, chaos tests)
+# still runs under race here.
+race:
+	$(GO) test -race -short -timeout 20m ./...
+
+# check is the full CI gate: static analysis plus the race-enabled suite.
+check: vet race

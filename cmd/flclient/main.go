@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"github.com/cip-fl/cip/internal/core"
 	"github.com/cip-fl/cip/internal/datasets"
@@ -35,6 +36,10 @@ func run() error {
 	seed := flag.Int64("seed", 1, "seed (must match the server)")
 	alpha := flag.Float64("alpha", 0.9, "CIP blending parameter")
 	lambdaM := flag.Float64("lambda-m", 0.3, "Eq. 4 original-loss weight")
+	dialRetries := flag.Int("dial-retries", 10,
+		"connection attempts before giving up (exponential backoff + jitter)")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond,
+		"initial backoff delay between connection attempts")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -70,7 +75,12 @@ func run() error {
 
 	fmt.Printf("client %d/%d joining %s (%d local samples, alpha=%g)\n",
 		*id, *of, *addr, shard.Len(), *alpha)
-	if err := transport.RunClient(*addr, client); err != nil {
+	retry := transport.RetryConfig{
+		MaxAttempts: *dialRetries,
+		BaseDelay:   *retryBase,
+		Rng:         rand.New(rand.NewSource(*seed + int64(1000+*id))),
+	}
+	if err := transport.RunClientRetry(*addr, client, retry); err != nil {
 		return err
 	}
 	fmt.Printf("done; local test accuracy with own t: %.3f\n",

@@ -38,6 +38,12 @@ func run() error {
 	scaleName := flag.String("preset", "quick", "scale: quick or full")
 	seed := flag.Int64("seed", 1, "model-initialization seed (must match clients)")
 	out := flag.String("out", "global.gob", "write the final global parameters here")
+	quorum := flag.Int("quorum", 0,
+		"minimum clients per round; >0 enables fault-tolerant partial aggregation, 0 is fail-stop")
+	roundTimeout := flag.Duration("round-timeout", 0,
+		"per-round client deadline (send+train+receive); 0 disables deadlines")
+	acceptWindow := flag.Duration("accept-window", 0,
+		"how long to wait for the full roster before starting with ≥quorum clients; 0 waits forever")
 	flag.Parse()
 
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -53,11 +59,18 @@ func run() error {
 		d.Train.In, d.Train.NumClasses)
 
 	coord := &transport.Coordinator{
-		NumClients: *clients,
-		Rounds:     *rounds,
-		Initial:    nn.FlattenParams(dual.Params()),
+		NumClients:   *clients,
+		Rounds:       *rounds,
+		Initial:      nn.FlattenParams(dual.Params()),
+		MinQuorum:    *quorum,
+		RoundTimeout: *roundTimeout,
+		AcceptWindow: *acceptWindow,
 	}
-	fmt.Printf("waiting for %d clients, %d rounds...\n", *clients, *rounds)
+	if *quorum > 0 {
+		fmt.Printf("waiting for %d clients (quorum %d), %d rounds...\n", *clients, *quorum, *rounds)
+	} else {
+		fmt.Printf("waiting for %d clients, %d rounds...\n", *clients, *rounds)
+	}
 	global, err := coord.ListenAndRun(*addr, func(a string) {
 		fmt.Printf("listening on %s\n", a)
 	})

@@ -5,6 +5,12 @@
 // appear in any message; only model parameters cross the network, exactly
 // the property CIP's threat model relies on.
 //
+// The coordinator here runs in fault-tolerant mode: per-round client
+// deadlines, an accept window bounding the roster wait, and quorum-based
+// partial aggregation — a client that stalls or drops is removed from the
+// round instead of sinking the federation. Clients dial with exponential
+// backoff + jitter, so they may be launched before the coordinator is up.
+//
 //	go run ./examples/distributed
 package main
 
@@ -13,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/cip-fl/cip/internal/core"
 	"github.com/cip-fl/cip/internal/datasets"
@@ -58,9 +65,12 @@ func run() error {
 	}
 
 	coord := &transport.Coordinator{
-		NumClients: numClients,
-		Rounds:     rounds,
-		Initial:    initial,
+		NumClients:   numClients,
+		Rounds:       rounds,
+		Initial:      initial,
+		MinQuorum:    1,
+		RoundTimeout: 2 * time.Minute,
+		AcceptWindow: 30 * time.Second,
 	}
 	addrCh := make(chan string, 1)
 	var (
@@ -83,7 +93,12 @@ func run() error {
 		cwg.Add(1)
 		go func(i int, c *core.Client) {
 			defer cwg.Done()
-			if err := transport.RunClient(addr, c); err != nil {
+			retry := transport.RetryConfig{
+				MaxAttempts: 5,
+				BaseDelay:   100 * time.Millisecond,
+				Rng:         rand.New(rand.NewSource(seed + int64(1000+i))),
+			}
+			if err := transport.RunClientRetry(addr, c, retry); err != nil {
 				log.Printf("client %d: %v", i, err)
 				return
 			}

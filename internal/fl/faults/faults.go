@@ -1,0 +1,211 @@
+// Package faults provides deterministic, seedable fault-injection wrappers
+// for chaos-testing the federation: clients that crash, straggle, or emit
+// corrupt updates on scheduled rounds, and a net.Conn wrapper that dies
+// after a byte budget. Every wrapper is driven by an explicit schedule (or
+// an explicit *rand.Rand for drawn schedules), so injected chaos is
+// reproducible run-to-run — the property the end-to-end chaos tests rely
+// on.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+// Rounds is the set of round indices a fault fires on; a nil set fires on
+// every round.
+type Rounds map[int]bool
+
+// On builds a schedule firing on exactly the given rounds.
+func On(rounds ...int) Rounds {
+	r := make(Rounds, len(rounds))
+	for _, x := range rounds {
+		r[x] = true
+	}
+	return r
+}
+
+func (r Rounds) hits(round int) bool { return r == nil || r[round] }
+
+// Schedule draws a deterministic schedule from rng: each round in
+// [0, rounds) fires independently with probability p.
+func Schedule(rng *rand.Rand, rounds int, p float64) Rounds {
+	out := make(Rounds, rounds)
+	for i := 0; i < rounds; i++ {
+		if rng.Float64() < p {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// ErrInjected is the error a Flaky client returns on its failing rounds.
+var ErrInjected = errors.New("faults: injected client failure")
+
+// Flaky wraps a client whose local training fails on the scheduled rounds.
+// Over the TCP transport a training failure ends the client's session, so
+// the first scheduled failure removes it from the federation; in-process
+// (under an fl.RoundPolicy) it rejoins on the next non-failing round.
+type Flaky struct {
+	fl.Client
+	Fail Rounds
+}
+
+// NewFlaky wraps inner with the given failure schedule.
+func NewFlaky(inner fl.Client, fail Rounds) *Flaky { return &Flaky{Client: inner, Fail: fail} }
+
+// TrainLocal implements fl.Client.
+func (f *Flaky) TrainLocal(round int, global []float64) (fl.Update, error) {
+	if f.Fail.hits(round) {
+		return fl.Update{}, fmt.Errorf("%w: client %d round %d", ErrInjected, f.Client.ID(), round)
+	}
+	return f.Client.TrainLocal(round, global)
+}
+
+// Slow wraps a client that sleeps for Delay before training on the
+// scheduled rounds — a straggler. With a delay beyond the coordinator's
+// RoundTimeout it gets dropped; below it, it exercises the deadline path
+// while staying in the federation.
+type Slow struct {
+	fl.Client
+	Delay time.Duration
+	Slow  Rounds
+}
+
+// NewSlow wraps inner with a per-round delay on the scheduled rounds.
+func NewSlow(inner fl.Client, delay time.Duration, slow Rounds) *Slow {
+	return &Slow{Client: inner, Delay: delay, Slow: slow}
+}
+
+// TrainLocal implements fl.Client.
+func (s *Slow) TrainLocal(round int, global []float64) (fl.Update, error) {
+	if s.Slow.hits(round) {
+		time.Sleep(s.Delay)
+	}
+	return s.Client.TrainLocal(round, global)
+}
+
+// CorruptMode selects how a Corrupt client mangles its update.
+type CorruptMode int
+
+const (
+	// CorruptNaN poisons parameters with NaN values.
+	CorruptNaN CorruptMode = iota
+	// CorruptInf poisons parameters with +Inf values.
+	CorruptInf
+	// CorruptOversize doubles the parameter vector's length.
+	CorruptOversize
+	// CorruptTruncate halves the parameter vector's length.
+	CorruptTruncate
+)
+
+// Corrupt wraps a client whose updates are mangled on the scheduled
+// rounds: NaN/Inf poisoning or a mis-sized parameter vector. A validating
+// aggregator must reject all of them.
+type Corrupt struct {
+	fl.Client
+	Mode    CorruptMode
+	Corrupt Rounds
+}
+
+// NewCorrupt wraps inner, corrupting updates on the scheduled rounds.
+func NewCorrupt(inner fl.Client, mode CorruptMode, corrupt Rounds) *Corrupt {
+	return &Corrupt{Client: inner, Mode: mode, Corrupt: corrupt}
+}
+
+// TrainLocal implements fl.Client.
+func (c *Corrupt) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := c.Client.TrainLocal(round, global)
+	if err != nil || !c.Corrupt.hits(round) {
+		return u, err
+	}
+	switch c.Mode {
+	case CorruptNaN:
+		for i := 0; i < len(u.Params); i += 1 + len(u.Params)/8 {
+			u.Params[i] = math.NaN()
+		}
+	case CorruptInf:
+		for i := 0; i < len(u.Params); i += 1 + len(u.Params)/8 {
+			u.Params[i] = math.Inf(1)
+		}
+	case CorruptOversize:
+		u.Params = append(u.Params, make([]float64, len(u.Params))...)
+	case CorruptTruncate:
+		u.Params = u.Params[:len(u.Params)/2]
+	}
+	return u, nil
+}
+
+// ErrConnDropped is returned by a budgeted Conn once its byte budget is
+// exhausted.
+var ErrConnDropped = errors.New("faults: injected connection drop")
+
+// Conn wraps a net.Conn that dies deterministically after a total byte
+// budget (reads + writes combined), simulating a connection lost
+// mid-stream. The underlying connection is closed on exhaustion so the
+// peer observes the drop too.
+type Conn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+}
+
+// LimitConn wraps c with a total byte budget.
+func LimitConn(c net.Conn, budget int64) *Conn {
+	return &Conn{Conn: c, budget: budget}
+}
+
+func (c *Conn) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget <= 0
+}
+
+func (c *Conn) consume(n int64) {
+	c.mu.Lock()
+	c.budget -= n
+	exhausted := c.budget <= 0
+	c.mu.Unlock()
+	if exhausted {
+		c.Conn.Close()
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.dead() {
+		return 0, ErrConnDropped
+	}
+	n, err := c.Conn.Read(p)
+	c.consume(int64(n))
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.dead() {
+		return 0, ErrConnDropped
+	}
+	n, err := c.Conn.Write(p)
+	c.consume(int64(n))
+	return n, err
+}
+
+// FlakyDialer returns a dialer (pluggable into transport.RetryConfig.Dial)
+// whose connections die after budget total bytes.
+func FlakyDialer(budget int64) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return LimitConn(conn, budget), nil
+	}
+}

@@ -62,6 +62,10 @@ type Server struct {
 	// trains everyone. SampleRng drives the selection (nil seeds from 0).
 	SampleFraction float64
 	SampleRng      *rand.Rand
+	// Policy, when non-nil, enables fault-tolerant rounds: failing or
+	// invalid clients are dropped and the round aggregates over the
+	// surviving quorum. Nil keeps fail-stop semantics.
+	Policy *RoundPolicy
 
 	global []float64
 }
@@ -87,6 +91,9 @@ func (s *Server) RunRound(round int) error {
 		return errors.New("fl: server has no clients")
 	}
 	participants := s.sampleClients()
+	if s.Policy != nil {
+		return s.runRoundQuorum(round, participants)
+	}
 	updates := make([]Update, len(participants))
 	for i, c := range participants {
 		params := s.global
@@ -109,7 +116,11 @@ func (s *Server) RunRound(round int) error {
 	for _, o := range s.Observers {
 		o.ObserveRound(round, s.Global(), updates)
 	}
-	s.global = Aggregate(updates)
+	agg, err := Aggregate(updates)
+	if err != nil {
+		return fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	s.global = agg
 	return nil
 }
 
@@ -150,14 +161,21 @@ func (s *Server) Run(rounds int) error {
 	return nil
 }
 
-// Aggregate computes the sample-weighted FedAvg mean of the updates.
-func Aggregate(updates []Update) []float64 {
+// Aggregate computes the sample-weighted FedAvg mean of the updates. All
+// update vectors must share one length; a mismatch is reported as an error
+// instead of panicking, so one misbehaving client cannot crash the
+// aggregator.
+func Aggregate(updates []Update) ([]float64, error) {
 	if len(updates) == 0 {
-		return nil
+		return nil, errors.New("fl: aggregate of zero updates")
 	}
 	out := make([]float64, len(updates[0].Params))
 	total := 0.0
 	for _, u := range updates {
+		if len(u.Params) != len(out) {
+			return nil, fmt.Errorf("fl: aggregate: client %d update has %d params, want %d",
+				u.ClientID, len(u.Params), len(out))
+		}
 		w := float64(u.NumSamples)
 		if w <= 0 {
 			w = 1
@@ -170,5 +188,5 @@ func Aggregate(updates []Update) []float64 {
 	for i := range out {
 		out[i] /= total
 	}
-	return out
+	return out, nil
 }

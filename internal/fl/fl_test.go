@@ -17,7 +17,10 @@ func TestAggregateIdentityOnEqualModels(t *testing.T) {
 		{Params: p, NumSamples: 10},
 		{Params: p, NumSamples: 3},
 	}
-	got := Aggregate(updates)
+	got, err := Aggregate(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range p {
 		if math.Abs(got[i]-p[i]) > 1e-12 {
 			t.Fatalf("Aggregate of identical params diverged at %d: %v", i, got[i])
@@ -30,7 +33,10 @@ func TestAggregateWeighted(t *testing.T) {
 		{Params: []float64{0}, NumSamples: 1},
 		{Params: []float64{10}, NumSamples: 3},
 	}
-	got := Aggregate(updates)
+	got, err := Aggregate(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got[0]-7.5) > 1e-12 {
 		t.Fatalf("weighted aggregate = %v, want 7.5", got[0])
 	}
@@ -50,13 +56,19 @@ func TestAggregatePermutationInvariantProperty(t *testing.T) {
 			}
 			updates[i] = Update{Params: p, NumSamples: 1 + r.Intn(20)}
 		}
-		a := Aggregate(updates)
+		a, err := Aggregate(updates)
+		if err != nil {
+			return false
+		}
 		perm := r.Perm(k)
 		shuffled := make([]Update, k)
 		for i, j := range perm {
 			shuffled[i] = updates[j]
 		}
-		b := Aggregate(shuffled)
+		b, err := Aggregate(shuffled)
+		if err != nil {
+			return false
+		}
 		for i := range a {
 			if math.Abs(a[i]-b[i]) > 1e-9 {
 				return false

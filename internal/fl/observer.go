@@ -14,6 +14,10 @@ type HistoryRecorder struct {
 	OnlyRounds map[int]bool
 
 	Rounds []RoundRecord
+
+	// pending holds failures reported for the round currently being
+	// observed; ObserveRound folds them into the next RoundRecord.
+	pending []ClientFailure
 }
 
 // RoundRecord is the retained view of one communication round.
@@ -22,11 +26,25 @@ type RoundRecord struct {
 	Global      []float64   // pre-round global parameters (nil unless kept)
 	LocalParams [][]float64 // per-client post-training parameters (nil unless kept)
 	TrainLosses []float64   // per-client mean local training loss
+	// Dropped lists the clients excluded from this round's aggregate
+	// (fault-tolerant runs only; nil in fail-stop runs).
+	Dropped []ClientFailure
+}
+
+// ObserveFailures implements FailureObserver: the per-round dropped-client
+// set is retained alongside the surviving updates, so attack analyses know
+// exactly which clients each aggregate was built from.
+func (h *HistoryRecorder) ObserveFailures(round int, failures []ClientFailure) {
+	h.pending = append([]ClientFailure(nil), failures...)
 }
 
 // ObserveRound implements RoundObserver.
 func (h *HistoryRecorder) ObserveRound(round int, global []float64, updates []Update) {
 	rec := RoundRecord{Round: round, TrainLosses: make([]float64, len(updates))}
+	if len(h.pending) > 0 {
+		rec.Dropped = h.pending
+		h.pending = nil
+	}
 	keep := h.KeepParams && (len(h.OnlyRounds) == 0 || h.OnlyRounds[round])
 	if keep {
 		rec.Global = global

@@ -1,0 +1,139 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+)
+
+// FailureReason classifies why a client's contribution to a round was
+// dropped. Transport-level reasons (timeout, connection loss) are produced
+// by internal/fl/transport; the in-process engine produces train and
+// invalid failures.
+type FailureReason string
+
+const (
+	// FailTrain means the client's TrainLocal returned an error.
+	FailTrain FailureReason = "train"
+	// FailInvalid means the update failed validation (NaN/Inf values or a
+	// parameter-length mismatch).
+	FailInvalid FailureReason = "invalid"
+	// FailTimeout means the client missed the round deadline.
+	FailTimeout FailureReason = "timeout"
+	// FailTransport means the client's connection failed mid-round.
+	FailTransport FailureReason = "transport"
+)
+
+// ClientFailure describes one client's failure in one round. Observers that
+// implement FailureObserver receive these so attack analyses (and ops
+// tooling) know exactly which clients were dropped from each aggregate.
+type ClientFailure struct {
+	ClientID int
+	Round    int
+	Reason   FailureReason
+	Err      error
+}
+
+// RoundPolicy relaxes the engine's fail-stop rounds into quorum-based
+// partial aggregation: failing or invalid clients are dropped from the
+// round instead of aborting the federation, as long as enough valid
+// updates survive. A nil policy on the Server keeps the legacy fail-stop
+// behavior (first client error aborts the round).
+type RoundPolicy struct {
+	// MinQuorum is the minimum number of valid updates a round must
+	// produce for aggregation to proceed. It is an absolute count checked
+	// against the round's participants (the sampled subset when client
+	// sampling is enabled), not the full client roster. Values < 1 are
+	// treated as 1.
+	MinQuorum int
+	// MaxFailures, when > 0, additionally caps how many per-round client
+	// failures are tolerated even if the quorum is still met. 0 means no
+	// cap beyond the quorum check.
+	MaxFailures int
+}
+
+func (p *RoundPolicy) quorum() int {
+	if p.MinQuorum < 1 {
+		return 1
+	}
+	return p.MinQuorum
+}
+
+// FailureObserver is an optional extension of RoundObserver. Observers
+// implementing it are told which clients were dropped each round (possibly
+// an empty slice) before ObserveRound delivers the surviving updates.
+type FailureObserver interface {
+	ObserveFailures(round int, failures []ClientFailure)
+}
+
+// ValidateUpdate rejects parameter vectors that would poison or crash the
+// aggregate: a length mismatch against the global model, or any NaN/Inf
+// entry. Both the in-process engine (under a RoundPolicy) and the TCP
+// transport run every update through this check.
+func ValidateUpdate(u Update, wantLen int) error {
+	if len(u.Params) != wantLen {
+		return fmt.Errorf("fl: client %d update has %d params, want %d",
+			u.ClientID, len(u.Params), wantLen)
+	}
+	for i, v := range u.Params {
+		if math.IsNaN(v) {
+			return fmt.Errorf("fl: client %d update has NaN at param %d", u.ClientID, i)
+		}
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("fl: client %d update has Inf at param %d", u.ClientID, i)
+		}
+	}
+	return nil
+}
+
+// runRoundQuorum is RunRound under a RoundPolicy: train every participant,
+// drop failures and invalid updates, and aggregate over the surviving
+// quorum.
+func (s *Server) runRoundQuorum(round int, participants []Client) error {
+	valid := make([]Update, 0, len(participants))
+	var failures []ClientFailure
+	for _, c := range participants {
+		params := s.global
+		if s.Alter != nil {
+			if altered := s.Alter(round, c.ID(), s.Global()); altered != nil {
+				params = altered
+			}
+		}
+		u, err := c.TrainLocal(round, params)
+		if err != nil {
+			failures = append(failures, ClientFailure{
+				ClientID: c.ID(), Round: round, Reason: FailTrain, Err: err,
+			})
+			continue
+		}
+		u.ClientID = c.ID()
+		if err := ValidateUpdate(u, len(s.global)); err != nil {
+			failures = append(failures, ClientFailure{
+				ClientID: c.ID(), Round: round, Reason: FailInvalid, Err: err,
+			})
+			continue
+		}
+		valid = append(valid, u)
+	}
+	if cap := s.Policy.MaxFailures; cap > 0 && len(failures) > cap {
+		return fmt.Errorf("fl: round %d: %d client failures exceed cap %d",
+			round, len(failures), cap)
+	}
+	if q := s.Policy.quorum(); len(valid) < q {
+		return fmt.Errorf("fl: round %d: quorum lost: %d valid updates from %d participants, need %d",
+			round, len(valid), len(participants), q)
+	}
+	for _, o := range s.Observers {
+		if fo, ok := o.(FailureObserver); ok {
+			fo.ObserveFailures(round, failures)
+		}
+	}
+	for _, o := range s.Observers {
+		o.ObserveRound(round, s.Global(), valid)
+	}
+	agg, err := Aggregate(valid)
+	if err != nil {
+		return fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	s.global = agg
+	return nil
+}

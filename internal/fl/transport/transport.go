@@ -11,14 +11,30 @@
 //	    server → client: roundMsg{Round, Params}
 //	    client → server: updateMsg{Update}
 //	server → client: roundMsg{Done: true}
+//
+// Fault tolerance. With MinQuorum left at zero the coordinator is
+// fail-stop: the first client error aborts the federation (the legacy
+// behavior). Setting MinQuorum > 0 turns on quorum-based partial
+// aggregation: clients that miss the RoundTimeout deadline, drop their
+// connection, or send invalid updates (NaN/Inf/size mismatch) are removed
+// from the roster and the round aggregates over the survivors, erroring
+// only when fewer than MinQuorum valid updates remain. AcceptWindow bounds
+// the initial roster wait so a federation can start with a partial roster
+// of at least MinQuorum clients. All inbound gob messages are
+// byte-bounded against the expected model size, so a misbehaving peer
+// cannot make the coordinator allocate unbounded memory.
 package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/cip-fl/cip/internal/fl"
 )
@@ -38,6 +54,37 @@ type updateMsg struct {
 	U fl.Update
 }
 
+// maxHelloBytes bounds the gob-encoded size of the handshake message; a
+// hello is two ints, so 4 KiB is generous.
+const maxHelloBytes = 4 << 10
+
+// errMsgTooLarge is surfaced by budgetReader when a peer's message exceeds
+// the size bound derived from the model.
+var errMsgTooLarge = errors.New("transport: message exceeds size bound")
+
+// budgetReader enforces a per-message byte allowance on a gob stream: the
+// coordinator refreshes the allowance before each expected message, so a
+// misbehaving peer cannot stream an arbitrarily large value into the
+// decoder.
+type budgetReader struct {
+	r io.Reader
+	n int64
+}
+
+func (b *budgetReader) allow(n int64) { b.n = n }
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.n <= 0 {
+		return 0, errMsgTooLarge
+	}
+	if int64(len(p)) > b.n {
+		p = p[:b.n]
+	}
+	n, err := b.r.Read(p)
+	b.n -= int64(n)
+	return n, err
+}
+
 // Coordinator is the server side of the wire protocol.
 type Coordinator struct {
 	// NumClients is how many client connections to wait for before round 0.
@@ -46,18 +93,171 @@ type Coordinator struct {
 	Rounds int
 	// Initial is the initial global parameter vector.
 	Initial []float64
-	// Observers receive the same per-round view as in-process observers.
+	// Observers receive the same per-round view as in-process observers;
+	// observers implementing fl.FailureObserver are additionally told which
+	// clients were dropped each round.
 	Observers []fl.RoundObserver
+
+	// MinQuorum, when > 0, enables fault-tolerant rounds: it is the
+	// minimum number of connected clients needed to start and the minimum
+	// number of valid updates a round must produce. 0 keeps the legacy
+	// fail-stop behavior (all NumClients must stay healthy).
+	MinQuorum int
+	// RoundTimeout bounds each client's per-round exchange — sending the
+	// global parameters, local training, and receiving the update — via
+	// connection read/write deadlines. 0 disables deadlines. Stragglers
+	// that miss the deadline are dropped from the roster (fault-tolerant
+	// mode) or abort the federation (fail-stop mode).
+	RoundTimeout time.Duration
+	// AcceptWindow, when > 0, bounds how long ListenAndRun waits for the
+	// full NumClients roster; when the window closes the federation starts
+	// anyway as long as at least MinQuorum clients are connected.
+	AcceptWindow time.Duration
+	// MaxUpdateBytes bounds the gob-encoded size of one client update; 0
+	// derives a generous bound from len(Initial).
+	MaxUpdateBytes int64
+}
+
+func (c *Coordinator) faultTolerant() bool { return c.MinQuorum > 0 }
+
+// quorum is the effective minimum client/update count per round.
+func (c *Coordinator) quorum() int {
+	if c.MinQuorum > 0 {
+		return c.MinQuorum
+	}
+	return c.NumClients
+}
+
+func (c *Coordinator) updateBudget() int64 {
+	if c.MaxUpdateBytes > 0 {
+		return c.MaxUpdateBytes
+	}
+	// gob encodes a float64 in at most 9 bytes; 16×params plus slack
+	// admits any honest update with a wide margin.
+	return 64<<10 + 16*int64(len(c.Initial))
 }
 
 type clientConn struct {
-	id   int
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	conn net.Conn
+	id      int
+	samples int
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	lim     *budgetReader
+	conn    net.Conn
 }
 
-// ListenAndRun listens on addr, waits for NumClients clients, runs the
+// exchange runs one round against one client: send the globals, wait for
+// the update, validate it. RoundTimeout (when set) covers the whole
+// exchange through connection deadlines.
+func (cc *clientConn) exchange(round int, global []float64, timeout time.Duration,
+	budget int64, out *fl.Update) error {
+	if timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+		defer cc.conn.SetDeadline(time.Time{})       //nolint:errcheck
+	}
+	if err := cc.enc.Encode(roundMsg{Round: round, Params: global}); err != nil {
+		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
+	}
+	cc.lim.allow(budget)
+	var um updateMsg
+	if err := cc.dec.Decode(&um); err != nil {
+		return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
+	}
+	// The hello ID is authoritative; clients cannot impersonate others in
+	// the per-round observer view.
+	um.U.ClientID = cc.id
+	if err := fl.ValidateUpdate(um.U, len(global)); err != nil {
+		return fmt.Errorf("transport: round %d: %w", round, errInvalid{err})
+	}
+	*out = um.U
+	return nil
+}
+
+// errInvalid tags validation failures so failureReason can classify them.
+type errInvalid struct{ err error }
+
+func (e errInvalid) Error() string { return e.err.Error() }
+func (e errInvalid) Unwrap() error { return e.err }
+
+func failureReason(err error) fl.FailureReason {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fl.FailTimeout
+	}
+	if errors.As(err, &errInvalid{}) || errors.Is(err, errMsgTooLarge) {
+		return fl.FailInvalid
+	}
+	return fl.FailTransport
+}
+
+// acceptClients collects the initial roster. Any connection accepted
+// before an error is closed before returning, so a bad hello from client n
+// does not leak clients 1..n-1.
+func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err error) {
+	defer func() {
+		if err != nil {
+			for _, cc := range conns {
+				cc.conn.Close()
+			}
+		}
+	}()
+	var deadline time.Time
+	if c.AcceptWindow > 0 {
+		deadline = time.Now().Add(c.AcceptWindow)
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline) //nolint:errcheck
+		}
+	}
+	seen := make(map[int]bool, c.NumClients)
+	for len(conns) < c.NumClients {
+		conn, err := ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !deadline.IsZero() {
+				if len(conns) >= c.quorum() {
+					return conns, nil // start with the partial roster
+				}
+				return conns, fmt.Errorf("transport: accept window closed with %d of %d clients, need %d",
+					len(conns), c.NumClients, c.quorum())
+			}
+			return conns, fmt.Errorf("transport: accept: %w", err)
+		}
+		if !deadline.IsZero() {
+			conn.SetReadDeadline(deadline) //nolint:errcheck
+		}
+		lim := &budgetReader{r: conn}
+		cc := &clientConn{
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(lim),
+			lim:  lim,
+			conn: conn,
+		}
+		lim.allow(maxHelloBytes)
+		var h hello
+		if err := cc.dec.Decode(&h); err != nil {
+			conn.Close()
+			if c.faultTolerant() {
+				continue // tolerate a bad peer; keep waiting for the rest
+			}
+			return conns, fmt.Errorf("transport: reading hello: %w", err)
+		}
+		if seen[h.ID] {
+			conn.Close()
+			if c.faultTolerant() {
+				continue
+			}
+			return conns, fmt.Errorf("transport: duplicate client id %d", h.ID)
+		}
+		seen[h.ID] = true
+		conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		cc.id = h.ID
+		cc.samples = h.NumSamples
+		conns = append(conns, cc)
+	}
+	return conns, nil
+}
+
+// ListenAndRun listens on addr, waits for the client roster, runs the
 // configured number of rounds, and returns the final global parameters.
 // Passing ":0" style addresses is supported; the bound address is reported
 // through the optional ready callback before blocking on accepts.
@@ -71,106 +271,204 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		ready(ln.Addr().String())
 	}
 
-	conns := make([]*clientConn, 0, c.NumClients)
-	for len(conns) < c.NumClients {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("transport: accept: %w", err)
-		}
-		cc := &clientConn{
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-			conn: conn,
-		}
-		var h hello
-		if err := cc.dec.Decode(&h); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("transport: reading hello: %w", err)
-		}
-		cc.id = h.ID
-		conns = append(conns, cc)
+	active, err := c.acceptClients(ln)
+	if err != nil {
+		return nil, err
 	}
 	defer func() {
-		for _, cc := range conns {
+		for _, cc := range active {
 			cc.conn.Close()
 		}
 	}()
 	// Deterministic aggregation order regardless of connect order.
-	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 
 	global := make([]float64, len(c.Initial))
 	copy(global, c.Initial)
 
 	for round := 0; round < c.Rounds; round++ {
-		updates := make([]fl.Update, len(conns))
-		errs := make([]error, len(conns))
+		updates := make([]fl.Update, len(active))
+		errs := make([]error, len(active))
 		var wg sync.WaitGroup
-		for i, cc := range conns {
+		for i, cc := range active {
 			wg.Add(1)
 			go func(i int, cc *clientConn) {
 				defer wg.Done()
-				if err := cc.enc.Encode(roundMsg{Round: round, Params: global}); err != nil {
-					errs[i] = fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
-					return
-				}
-				var um updateMsg
-				if err := cc.dec.Decode(&um); err != nil {
-					errs[i] = fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
-					return
-				}
-				updates[i] = um.U
+				errs[i] = cc.exchange(round, global, c.RoundTimeout, c.updateBudget(), &updates[i])
 			}(i, cc)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+
+		valid := make([]fl.Update, 0, len(active))
+		survivors := make([]*clientConn, 0, len(active))
+		var failures []fl.ClientFailure
+		for i, cc := range active {
+			if err := errs[i]; err != nil {
+				if !c.faultTolerant() {
+					return nil, err
+				}
+				cc.conn.Close()
+				failures = append(failures, fl.ClientFailure{
+					ClientID: cc.id, Round: round, Reason: failureReason(err), Err: err,
+				})
+				continue
 			}
+			valid = append(valid, updates[i])
+			survivors = append(survivors, cc)
 		}
+		active = survivors
+		if len(valid) < c.quorum() {
+			return nil, fmt.Errorf("transport: round %d: quorum lost: %d valid updates, need %d",
+				round, len(valid), c.quorum())
+		}
+
 		snapshot := make([]float64, len(global))
 		copy(snapshot, global)
 		for _, o := range c.Observers {
-			o.ObserveRound(round, snapshot, updates)
+			if fo, ok := o.(fl.FailureObserver); ok {
+				fo.ObserveFailures(round, failures)
+			}
 		}
-		global = fl.Aggregate(updates)
+		for _, o := range c.Observers {
+			o.ObserveRound(round, snapshot, valid)
+		}
+		agg, err := fl.Aggregate(valid)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d: %w", round, err)
+		}
+		global = agg
 	}
 
-	for _, cc := range conns {
-		if err := cc.enc.Encode(roundMsg{Done: true}); err != nil {
+	for _, cc := range active {
+		if c.RoundTimeout > 0 {
+			cc.conn.SetWriteDeadline(time.Now().Add(c.RoundTimeout)) //nolint:errcheck
+		}
+		if err := cc.enc.Encode(roundMsg{Done: true}); err != nil && !c.faultTolerant() {
 			return nil, fmt.Errorf("transport: sending done to client %d: %w", cc.id, err)
 		}
 	}
 	return global, nil
 }
 
+// RetryConfig controls RunClientRetry's dial behavior: attempts, the
+// exponential backoff schedule, and its jitter.
+type RetryConfig struct {
+	// MaxAttempts is the total number of connection attempts; values ≤ 1
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry (default 200ms); each
+	// further retry doubles it up to MaxDelay (default 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter randomizes each delay multiplicatively in
+	// [1-Jitter, 1+Jitter]; 0 defaults to 0.2, negative disables jitter.
+	Jitter float64
+	// Rng drives the jitter; nil uses a fixed seed. Do not share one Rng
+	// between concurrently retrying clients.
+	Rng *rand.Rand
+	// Dial overrides the dialer (fault-injection hook); nil dials TCP.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.MaxAttempts < 1 {
+		rc.MaxAttempts = 1
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 200 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 5 * time.Second
+	}
+	if rc.Jitter == 0 {
+		rc.Jitter = 0.2
+	}
+	if rc.Jitter < 0 {
+		rc.Jitter = 0
+	}
+	if rc.Rng == nil {
+		rc.Rng = rand.New(rand.NewSource(1))
+	}
+	if rc.Dial == nil {
+		rc.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return rc
+}
+
+// backoff returns the sleep before the attempt-th retry (attempt ≥ 1).
+func (rc RetryConfig) backoff(attempt int) time.Duration {
+	d := rc.BaseDelay
+	for i := 1; i < attempt && d < rc.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > rc.MaxDelay {
+		d = rc.MaxDelay
+	}
+	if rc.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + rc.Jitter*(rc.Rng.Float64()*2-1)))
+	}
+	return d
+}
+
 // RunClient connects a local fl.Client to a coordinator at addr and
-// participates until the coordinator signals completion.
+// participates until the coordinator signals completion. It makes a single
+// connection attempt; see RunClientRetry for backoff.
 func RunClient(addr string, client fl.Client) error {
-	conn, err := net.Dial("tcp", addr)
+	return RunClientRetry(addr, client, RetryConfig{MaxAttempts: 1})
+}
+
+// RunClientRetry is RunClient with dial/handshake retry: connection
+// attempts that fail before the coordinator has started the federation
+// (i.e. before the first round message arrives) are retried with
+// exponential backoff and jitter, so clients can be launched before the
+// server is up. Once the federation is underway, errors are fatal — the
+// coordinator does not support mid-federation rejoin.
+func RunClientRetry(addr string, client fl.Client, rc RetryConfig) error {
+	rc = rc.withDefaults()
+	var err error
+	for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(rc.backoff(attempt - 1))
+		}
+		var joined bool
+		joined, err = runSession(addr, client, rc.Dial)
+		if err == nil || joined {
+			return err
+		}
+	}
+	return err
+}
+
+// runSession runs one full connect-train-finish session. joined reports
+// whether the coordinator started the federation with this client (at
+// least one round message arrived), i.e. whether a retry could rejoin.
+func runSession(addr string, client fl.Client, dial func(string) (net.Conn, error)) (joined bool, err error) {
+	conn, err := dial(addr)
 	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", addr, err)
+		return false, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 
 	if err := enc.Encode(hello{ID: client.ID(), NumSamples: client.NumSamples()}); err != nil {
-		return fmt.Errorf("transport: sending hello: %w", err)
+		return false, fmt.Errorf("transport: sending hello: %w", err)
 	}
 	for {
 		var rm roundMsg
 		if err := dec.Decode(&rm); err != nil {
-			return fmt.Errorf("transport: reading round: %w", err)
+			return joined, fmt.Errorf("transport: reading round: %w", err)
 		}
+		joined = true
 		if rm.Done {
-			return nil
+			return true, nil
 		}
 		u, err := client.TrainLocal(rm.Round, rm.Params)
 		if err != nil {
-			return fmt.Errorf("transport: local training round %d: %w", rm.Round, err)
+			return true, fmt.Errorf("transport: local training round %d: %w", rm.Round, err)
 		}
 		if err := enc.Encode(updateMsg{U: u}); err != nil {
-			return fmt.Errorf("transport: sending update: %w", err)
+			return true, fmt.Errorf("transport: sending update: %w", err)
 		}
 	}
 }
