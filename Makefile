@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet check
+.PHONY: build test race vet fuzz check
 
 build:
 	$(GO) build ./...
@@ -18,5 +19,12 @@ vet:
 race:
 	$(GO) test -race -short -timeout 20m ./...
 
-# check is the full CI gate: static analysis plus the race-enabled suite.
-check: vet race
+# A short fuzz burst over the coordinator's byte-budgeted update decode —
+# the path hostile clients reach over the wire. Raise FUZZTIME for a real
+# campaign: make fuzz FUZZTIME=10m
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeUpdate -fuzztime=$(FUZZTIME) ./internal/fl/transport
+
+# check is the full CI gate: static analysis, the race-enabled suite, and
+# a short fuzz burst.
+check: vet race fuzz

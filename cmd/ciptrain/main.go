@@ -17,6 +17,7 @@ import (
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/experiments"
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/flcli"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	scaleName := flag.String("preset", "quick", "scale: quick or full")
 	out := flag.String("out", "model.gob", "artifact output path")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/vars, and /debug/pprof on this address; empty disables telemetry")
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
@@ -60,11 +63,17 @@ func run() error {
 		scale = datasets.Full
 	}
 
+	reg, stopTelemetry, err := flcli.StartTelemetry(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+
 	fmt.Printf("training %s on %s (%s): %d clients, %d rounds, alpha=%g\n",
 		map[bool]string{true: "CIP", false: "legacy (no defense)"}[*alpha > 0],
 		p, scale, *clients, *rounds, *alpha)
 
-	a, err := experiments.TrainArtifact(p, scale, *seed, *clients, *rounds, *alpha)
+	a, err := experiments.TrainArtifactObserved(p, scale, *seed, *clients, *rounds, *alpha, reg)
 	if err != nil {
 		return err
 	}

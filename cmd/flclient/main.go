@@ -40,6 +40,8 @@ func run() error {
 		"connection attempts before giving up (exponential backoff + jitter)")
 	retryBase := flag.Duration("retry-base", 200*time.Millisecond,
 		"initial backoff delay between connection attempts")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/vars, and /debug/pprof on this address; empty disables telemetry")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -58,6 +60,12 @@ func run() error {
 	shards := datasets.PartitionIID(d.Train, *of, rand.New(rand.NewSource(*seed)))
 	shard := shards[*id]
 
+	reg, stopTelemetry, err := flcli.StartTelemetry(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+
 	arch := flcli.ArchFor(p)
 	dual := core.NewDualChannelModel(rand.New(rand.NewSource(*seed+1)), arch,
 		d.Train.In, d.Train.NumClasses)
@@ -69,6 +77,7 @@ func run() error {
 		BatchSize: 16,
 		LR:        fl.DecaySchedule(0.04, 40),
 		Momentum:  0.9,
+		Metrics:   core.NewMetrics(reg),
 	}
 	client := core.NewClient(*id, dual, shard, cfg, core.BlendSeed(*seed, *id),
 		rand.New(rand.NewSource(*seed+int64(100+*id))))
@@ -79,6 +88,7 @@ func run() error {
 		MaxAttempts: *dialRetries,
 		BaseDelay:   *retryBase,
 		Rng:         rand.New(rand.NewSource(*seed + int64(1000+*id))),
+		Metrics:     transport.NewMetrics(reg),
 	}
 	if err := transport.RunClientRetry(*addr, client, retry); err != nil {
 		return err

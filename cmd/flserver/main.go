@@ -18,6 +18,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/core"
 	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/transport"
 	"github.com/cip-fl/cip/internal/flcli"
 	"github.com/cip-fl/cip/internal/nn"
@@ -44,6 +45,8 @@ func run() error {
 		"per-round client deadline (send+train+receive); 0 disables deadlines")
 	acceptWindow := flag.Duration("accept-window", 0,
 		"how long to wait for the full roster before starting with ≥quorum clients; 0 waits forever")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/vars, and /debug/pprof on this address; empty disables telemetry")
 	flag.Parse()
 
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -58,6 +61,12 @@ func run() error {
 	dual := core.NewDualChannelModel(rand.New(rand.NewSource(*seed+1)), arch,
 		d.Train.In, d.Train.NumClasses)
 
+	reg, stopTelemetry, err := flcli.StartTelemetry(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+
 	coord := &transport.Coordinator{
 		NumClients:   *clients,
 		Rounds:       *rounds,
@@ -65,6 +74,8 @@ func run() error {
 		MinQuorum:    *quorum,
 		RoundTimeout: *roundTimeout,
 		AcceptWindow: *acceptWindow,
+		Metrics:      transport.NewMetrics(reg),
+		RoundMetrics: fl.NewMetrics(reg),
 	}
 	if *quorum > 0 {
 		fmt.Printf("waiting for %d clients (quorum %d), %d rounds...\n", *clients, *quorum, *rounds)

@@ -65,6 +65,54 @@ func TestBlendAlphaOneChannelOneIsT(t *testing.T) {
 	}
 }
 
+// TestBlendAlgebraicIdentities checks the Eq. 2 blend algebra with the
+// clip range wide enough that nothing saturates: the channel mean
+// recovers the sample, (C1+C2)/2 == x, and the scaled channel difference
+// recovers the perturbation residual, (C2−C1)/(2α) == x − t. These are
+// the invariants the dual-channel model implicitly relies on: x is
+// reconstructible only with both channels, and t only with α.
+func TestBlendAlgebraicIdentities(t *testing.T) {
+	const tol = 1e-9
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// α covers the paper's (0, 1] plus the degenerate edges 0 and 1.
+		alphas := []float64{0, 1, r.Float64()}
+		n, ss := 1+r.Intn(4), 1+r.Intn(20)
+		x := tensor.New(n, ss)
+		tp := tensor.New(ss)
+		x.RandUniform(r, -3, 3)
+		tp.RandUniform(r, -3, 3)
+		for _, alpha := range alphas {
+			// lo/hi far beyond any blend value, so no element clips.
+			b := Blend(x, tp, alpha, -1e12, 1e12)
+			for bi := 0; bi < n; bi++ {
+				off := bi * ss
+				for j := 0; j < ss; j++ {
+					c1, c2 := b.C1.Data[off+j], b.C2.Data[off+j]
+					xv, tv := x.Data[off+j], tp.Data[j]
+					if mean := (c1 + c2) / 2; mean < xv-tol || mean > xv+tol {
+						t.Logf("alpha=%g: (C1+C2)/2 = %g, want x = %g", alpha, mean, xv)
+						return false
+					}
+					if alpha == 0 {
+						continue // difference identity is 0/0 at α = 0
+					}
+					want := xv - tv
+					if diff := (c2 - c1) / (2 * alpha); diff < want-tol || diff > want+tol {
+						t.Logf("alpha=%g: (C2-C1)/(2α) = %g, want x-t = %g", alpha, diff, want)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBlendSizeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"github.com/cip-fl/cip/internal/telemetry"
+)
+
+// Metrics is the trainer's telemetry catalogue. Construct with NewMetrics
+// and attach via TrainConfig.Metrics; a nil *Metrics (the default) makes
+// every record call a no-op, so the training hot path is unchanged when
+// telemetry is off.
+type Metrics struct {
+	// Step1Loss is the latest Step I (Eq. 3) mean blended batch loss.
+	Step1Loss *telemetry.Gauge // train_step1_loss
+	// Step2Loss is the latest Step II (Eq. 4) mean blended batch loss.
+	Step2Loss *telemetry.Gauge // train_step2_loss
+	// OriginalCELoss is the latest mean cross-entropy of the Eq. 4
+	// original-query (adversarial) term.
+	OriginalCELoss *telemetry.Gauge // train_original_ce_loss
+	// EpochSeconds is the wall time of each Step II epoch.
+	EpochSeconds *telemetry.Histogram // train_epoch_seconds
+	// RoundsTotal counts completed local training rounds.
+	RoundsTotal *telemetry.Counter // train_rounds_total
+}
+
+// NewMetrics registers the trainer metrics on reg. A nil reg returns nil,
+// which disables recording.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Step1Loss: reg.Gauge("train_step1_loss",
+			"Latest Step I (Eq. 3) mean blended batch loss."),
+		Step2Loss: reg.Gauge("train_step2_loss",
+			"Latest Step II (Eq. 4) mean blended batch loss."),
+		OriginalCELoss: reg.Gauge("train_original_ce_loss",
+			"Latest mean cross-entropy of the Eq. 4 original-query term."),
+		EpochSeconds: reg.Histogram("train_epoch_seconds",
+			"Wall time of one Step II local epoch.", telemetry.DurationBuckets()),
+		RoundsTotal: reg.Counter("train_rounds_total",
+			"Completed local training rounds."),
+	}
+}
+
+func (m *Metrics) observeStep1(loss float64) {
+	if m == nil {
+		return
+	}
+	m.Step1Loss.Set(loss)
+}
+
+func (m *Metrics) observeStep2(loss, originalCE float64, haveOriginal bool) {
+	if m == nil {
+		return
+	}
+	m.Step2Loss.Set(loss)
+	if haveOriginal {
+		m.OriginalCELoss.Set(originalCE)
+	}
+}
+
+func (m *Metrics) observeEpoch(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.EpochSeconds.Observe(time.Since(start).Seconds())
+}
+
+func (m *Metrics) observeRound() {
+	if m == nil {
+		return
+	}
+	m.RoundsTotal.Inc()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/fl"
@@ -47,6 +48,10 @@ type TrainConfig struct {
 	// small backbones; clipping makes training robust across seeds.
 	// Zero selects the default of 5; negative disables clipping.
 	ClipNorm float64
+
+	// Metrics, when non-nil, receives the trainer's telemetry (Step I/II
+	// losses, original-CE loss, epoch wall time). Nil disables recording.
+	Metrics *Metrics
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -122,7 +127,9 @@ func StepIGeneratePerturbation(m *CIPModel, data *datasets.Dataset, cfg TrainCon
 	if batches == 0 {
 		return 0
 	}
-	return sum / float64(batches)
+	mean := sum / float64(batches)
+	cfg.Metrics.observeStep1(mean)
+	return mean
 }
 
 // StepIILearnModel performs one epoch of Step II (Eq. 4): update the model
@@ -140,8 +147,8 @@ func StepIILearnModel(m *CIPModel, data *datasets.Dataset, cfg TrainConfig,
 	guessT := m.ZeroT()
 	guessQuery := m.WithT(guessT)
 
-	var sum float64
-	batches := 0
+	var sum, origSum float64
+	batches, origBatches := 0, 0
 	data.Shuffle(rng)
 	for start := 0; start < data.Len(); start += cfg.BatchSize {
 		end := start + cfg.BatchSize
@@ -172,6 +179,8 @@ func StepIILearnModel(m *CIPModel, data *datasets.Dataset, cfg TrainConfig,
 			}
 			logits0, cache0 := query.Forward(x, true)
 			res0 := nn.SoftmaxCrossEntropy(logits0, y)
+			origSum += res0.Loss
+			origBatches++
 			cap := cfg.OriginalLossCap
 			if cap <= 0 {
 				cap = 1.25 * math.Log(float64(logits0.Shape[1]))
@@ -203,7 +212,13 @@ func StepIILearnModel(m *CIPModel, data *datasets.Dataset, cfg TrainConfig,
 	if batches == 0 {
 		return 0
 	}
-	return sum / float64(batches)
+	mean := sum / float64(batches)
+	var origMean float64
+	if origBatches > 0 {
+		origMean = origSum / float64(origBatches)
+	}
+	cfg.Metrics.observeStep2(mean, origMean, origBatches > 0)
+	return mean
 }
 
 // Client is a CIP-defended federated-learning participant. Each round it
@@ -303,8 +318,11 @@ func (c *Client) TrainLocal(round int, global []float64) (fl.Update, error) {
 	}
 	var loss float64
 	for e := 0; e < cfg.LocalEpochs; e++ {
+		epochStart := time.Now()
 		loss = StepIILearnModel(c.m, c.data, cfg, c.opt, c.rng)
+		cfg.Metrics.observeEpoch(epochStart)
 	}
+	cfg.Metrics.observeRound()
 	return fl.Update{
 		Params:     nn.FlattenParams(c.m.Params()),
 		NumSamples: c.data.Len(),

@@ -10,6 +10,7 @@ import (
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/telemetry"
 )
 
 // Artifact is a trained model saved to disk by ciptrain and consumed by
@@ -104,6 +105,15 @@ func (a *Artifact) Net(withT bool) (nn.Layer, error) {
 // alpha > 0 selects CIP; alpha == 0 trains the undefended legacy model.
 func TrainArtifact(p datasets.Preset, scale datasets.Scale, seed int64,
 	clients, rounds int, alpha float64) (*Artifact, error) {
+	return TrainArtifactObserved(p, scale, seed, clients, rounds, alpha, nil)
+}
+
+// TrainArtifactObserved is TrainArtifact with live telemetry: when reg is
+// non-nil the federation records round metrics and the CIP trainer
+// records Step I/II losses and epoch timings into it (cmd/ciptrain serves
+// these under -metrics-addr).
+func TrainArtifactObserved(p datasets.Preset, scale datasets.Scale, seed int64,
+	clients, rounds int, alpha float64, reg *telemetry.Registry) (*Artifact, error) {
 	d, err := datasets.Load(p, scale, seed)
 	if err != nil {
 		return nil, err
@@ -111,7 +121,8 @@ func TrainArtifact(p datasets.Preset, scale datasets.Scale, seed int64,
 	arch := archFor(p, scale)
 	a := &Artifact{Preset: p, Scale: scale, Seed: seed, Arch: arch, Alpha: alpha}
 	if alpha > 0 {
-		run, err := runCIP(d.Train, arch, clients, rounds, alpha, seed, cipOpts{augment: d.Augment})
+		run, err := runCIP(d.Train, arch, clients, rounds, alpha, seed,
+			cipOpts{augment: d.Augment, telemetry: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +131,8 @@ func TrainArtifact(p datasets.Preset, scale datasets.Scale, seed int64,
 		a.T = append([]float64(nil), run.Clients[0].Perturbation().T.Data...)
 		return a, nil
 	}
-	run, err := runLegacy(d.Train, arch, clients, rounds, seed, legacyOpts{augment: d.Augment})
+	run, err := runLegacy(d.Train, arch, clients, rounds, seed,
+		legacyOpts{augment: d.Augment, telemetry: reg})
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/telemetry"
 )
 
 // hyper centralizes the training hyperparameters shared by all experiment
@@ -37,7 +38,8 @@ type legacyOpts struct {
 	stepFor          func(i int) fl.TrainStep
 	localEpochs      int
 	augment          bool
-	keepRounds       map[int]bool // rounds whose local params the recorder keeps
+	telemetry        *telemetry.Registry // nil disables metrics
+	keepRounds       map[int]bool        // rounds whose local params the recorder keeps
 	alter            fl.AlterFunc
 	observers        []fl.RoundObserver
 	// build overrides the default classifier factory (HDP's frozen-feature
@@ -91,6 +93,7 @@ func runLegacy(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	}
 	rec := &fl.HistoryRecorder{KeepParams: len(opts.keepRounds) > 0, OnlyRounds: opts.keepRounds}
 	srv := fl.NewServer(initial, clients...)
+	srv.Metrics = fl.NewMetrics(opts.telemetry)
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter
@@ -136,6 +139,7 @@ type cipOpts struct {
 	alter            fl.AlterFunc
 	observers        []fl.RoundObserver
 	augment          bool
+	telemetry        *telemetry.Registry // nil disables metrics
 	// lambdaM overrides the Eq. 4 weight (0 keeps the regime default).
 	lambdaM float64
 }
@@ -173,6 +177,7 @@ func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 			train.In, train.NumClasses)
 	}
 	tc := cipTrainConfig(alpha, rounds, opts.augment)
+	tc.Metrics = core.NewMetrics(opts.telemetry)
 	if opts.lambdaM > 0 {
 		tc.LambdaM = opts.lambdaM
 	}
@@ -191,6 +196,7 @@ func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	}
 	rec := &fl.HistoryRecorder{KeepParams: len(opts.keepRounds) > 0, OnlyRounds: opts.keepRounds}
 	srv := fl.NewServer(initial, clients...)
+	srv.Metrics = fl.NewMetrics(opts.telemetry)
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter

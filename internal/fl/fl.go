@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Update is what a client returns from one round of local training.
@@ -66,6 +67,9 @@ type Server struct {
 	// invalid clients are dropped and the round aggregates over the
 	// surviving quorum. Nil keeps fail-stop semantics.
 	Policy *RoundPolicy
+	// Metrics, when non-nil, receives per-round telemetry (round
+	// duration, participating/dropped clients, validation rejections).
+	Metrics *Metrics
 
 	global []float64
 }
@@ -90,9 +94,10 @@ func (s *Server) RunRound(round int) error {
 	if len(s.Clients) == 0 {
 		return errors.New("fl: server has no clients")
 	}
+	start := time.Now()
 	participants := s.sampleClients()
 	if s.Policy != nil {
-		return s.runRoundQuorum(round, participants)
+		return s.runRoundQuorum(round, start, participants)
 	}
 	updates := make([]Update, len(participants))
 	for i, c := range participants {
@@ -121,6 +126,7 @@ func (s *Server) RunRound(round int) error {
 		return fmt.Errorf("fl: round %d: %w", round, err)
 	}
 	s.global = agg
+	s.Metrics.RecordRound(start, len(updates), 0, len(agg))
 	return nil
 }
 

@@ -1,0 +1,73 @@
+package fl
+
+import (
+	"time"
+
+	"github.com/cip-fl/cip/internal/telemetry"
+)
+
+// Metrics is the federation engine's telemetry catalogue, shared by the
+// in-process Server and the TCP Coordinator so dashboards see one set of
+// round metrics regardless of deployment. Construct with NewMetrics and
+// attach via Server.Metrics (or Coordinator.Metrics); a nil *Metrics
+// disables all recording at zero cost.
+type Metrics struct {
+	// RoundsTotal counts completed communication rounds.
+	RoundsTotal *telemetry.Counter // fl_rounds_total
+	// RoundDuration is the wall time of each communication round.
+	RoundDuration *telemetry.Histogram // fl_round_duration_seconds
+	// ClientsParticipating is the number of clients whose updates entered
+	// the most recent aggregate.
+	ClientsParticipating *telemetry.Gauge // fl_clients_participating
+	// ClientsDropped counts clients excluded from rounds (all reasons).
+	ClientsDropped *telemetry.Counter // fl_clients_dropped_total
+	// ValidationRejections counts updates rejected by ValidateUpdate
+	// (NaN/Inf values or parameter-length mismatch).
+	ValidationRejections *telemetry.Counter // fl_validation_rejections_total
+	// UpdateParams is the parameter count of the aggregated model.
+	UpdateParams *telemetry.Gauge // fl_update_params
+}
+
+// NewMetrics registers the federation metrics on reg. A nil reg returns
+// nil, which disables recording.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		RoundsTotal: reg.Counter("fl_rounds_total",
+			"Completed communication rounds."),
+		RoundDuration: reg.Histogram("fl_round_duration_seconds",
+			"Wall time of one communication round.", telemetry.DurationBuckets()),
+		ClientsParticipating: reg.Gauge("fl_clients_participating",
+			"Clients whose updates entered the most recent aggregate."),
+		ClientsDropped: reg.Counter("fl_clients_dropped_total",
+			"Clients excluded from rounds (timeouts, transport failures, invalid updates)."),
+		ValidationRejections: reg.Counter("fl_validation_rejections_total",
+			"Updates rejected by validation (NaN/Inf or length mismatch)."),
+		UpdateParams: reg.Gauge("fl_update_params",
+			"Parameter count of the aggregated model."),
+	}
+}
+
+// RecordRound records one completed round: its wall time since start, how
+// many updates were aggregated, how many clients were dropped, and the
+// model's parameter count. Nil-safe.
+func (m *Metrics) RecordRound(start time.Time, participating, dropped, params int) {
+	if m == nil {
+		return
+	}
+	m.RoundsTotal.Inc()
+	m.RoundDuration.Observe(time.Since(start).Seconds())
+	m.ClientsParticipating.Set(float64(participating))
+	m.ClientsDropped.Add(uint64(dropped))
+	m.UpdateParams.Set(float64(params))
+}
+
+// RecordValidationRejection counts one ValidateUpdate rejection. Nil-safe.
+func (m *Metrics) RecordValidationRejection() {
+	if m == nil {
+		return
+	}
+	m.ValidationRejections.Inc()
+}

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // FailureReason classifies why a client's contribution to a round was
@@ -88,7 +89,7 @@ func ValidateUpdate(u Update, wantLen int) error {
 // runRoundQuorum is RunRound under a RoundPolicy: train every participant,
 // drop failures and invalid updates, and aggregate over the surviving
 // quorum.
-func (s *Server) runRoundQuorum(round int, participants []Client) error {
+func (s *Server) runRoundQuorum(round int, start time.Time, participants []Client) error {
 	valid := make([]Update, 0, len(participants))
 	var failures []ClientFailure
 	for _, c := range participants {
@@ -107,6 +108,7 @@ func (s *Server) runRoundQuorum(round int, participants []Client) error {
 		}
 		u.ClientID = c.ID()
 		if err := ValidateUpdate(u, len(s.global)); err != nil {
+			s.Metrics.RecordValidationRejection()
 			failures = append(failures, ClientFailure{
 				ClientID: c.ID(), Round: round, Reason: FailInvalid, Err: err,
 			})
@@ -135,5 +137,6 @@ func (s *Server) runRoundQuorum(round int, participants []Client) error {
 		return fmt.Errorf("fl: round %d: %w", round, err)
 	}
 	s.global = agg
+	s.Metrics.RecordRound(start, len(valid), len(failures), len(agg))
 	return nil
 }

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"github.com/cip-fl/cip/internal/telemetry"
+)
+
+// Metrics is the wire-layer telemetry catalogue. Construct with
+// NewMetrics and attach via Coordinator.Metrics (server side) or
+// RetryConfig.Metrics (client side); a nil *Metrics disables all
+// recording at zero cost.
+type Metrics struct {
+	// ConnsAccepted counts client connections accepted into the roster
+	// (after a valid, non-duplicate hello).
+	ConnsAccepted *telemetry.Counter // transport_conns_accepted_total
+	// DecodeBytes counts inbound bytes consumed through the byte-budgeted
+	// gob decode path (hellos and updates).
+	DecodeBytes *telemetry.Counter // transport_decode_bytes_total
+	// DecodeFailures counts gob decode errors on inbound messages,
+	// including budget overruns.
+	DecodeFailures *telemetry.Counter // transport_decode_failures_total
+	// RetryAttempts counts client dial/handshake retries (attempts beyond
+	// each session's first).
+	RetryAttempts *telemetry.Counter // transport_retry_attempts_total
+	// StragglersDropped counts clients dropped for missing the round
+	// deadline.
+	StragglersDropped *telemetry.Counter // transport_stragglers_dropped_total
+}
+
+// NewMetrics registers the transport metrics on reg. A nil reg returns
+// nil, which disables recording.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		ConnsAccepted: reg.Counter("transport_conns_accepted_total",
+			"Client connections accepted into the roster."),
+		DecodeBytes: reg.Counter("transport_decode_bytes_total",
+			"Inbound bytes consumed by the byte-budgeted gob decoder."),
+		DecodeFailures: reg.Counter("transport_decode_failures_total",
+			"Gob decode errors on inbound messages, including budget overruns."),
+		RetryAttempts: reg.Counter("transport_retry_attempts_total",
+			"Client dial/handshake retries beyond the first attempt."),
+		StragglersDropped: reg.Counter("transport_stragglers_dropped_total",
+			"Clients dropped for missing the round deadline."),
+	}
+}
+
+func (m *Metrics) connAccepted() {
+	if m == nil {
+		return
+	}
+	m.ConnsAccepted.Inc()
+}
+
+func (m *Metrics) decodeFailure() {
+	if m == nil {
+		return
+	}
+	m.DecodeFailures.Inc()
+}
+
+func (m *Metrics) retryAttempt() {
+	if m == nil {
+		return
+	}
+	m.RetryAttempts.Inc()
+}
+
+func (m *Metrics) stragglerDropped() {
+	if m == nil {
+		return
+	}
+	m.StragglersDropped.Inc()
+}
+
+// decodeBytesCounter returns the byte counter budgetReaders feed, or nil.
+func (m *Metrics) decodeBytesCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DecodeBytes
+}

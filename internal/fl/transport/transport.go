@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/telemetry"
 )
 
 type hello struct {
@@ -65,10 +66,11 @@ var errMsgTooLarge = errors.New("transport: message exceeds size bound")
 // budgetReader enforces a per-message byte allowance on a gob stream: the
 // coordinator refreshes the allowance before each expected message, so a
 // misbehaving peer cannot stream an arbitrarily large value into the
-// decoder.
+// decoder. The optional bytes counter feeds transport_decode_bytes_total.
 type budgetReader struct {
-	r io.Reader
-	n int64
+	r     io.Reader
+	n     int64
+	bytes *telemetry.Counter
 }
 
 func (b *budgetReader) allow(n int64) { b.n = n }
@@ -82,6 +84,7 @@ func (b *budgetReader) Read(p []byte) (int, error) {
 	}
 	n, err := b.r.Read(p)
 	b.n -= int64(n)
+	b.bytes.Add(uint64(n))
 	return n, err
 }
 
@@ -116,6 +119,14 @@ type Coordinator struct {
 	// MaxUpdateBytes bounds the gob-encoded size of one client update; 0
 	// derives a generous bound from len(Initial).
 	MaxUpdateBytes int64
+
+	// Metrics, when non-nil, receives wire-layer telemetry (accepted
+	// conns, decode bytes/failures, straggler drops).
+	Metrics *Metrics
+	// RoundMetrics, when non-nil, receives the same per-round telemetry
+	// the in-process engine records (round duration, participating and
+	// dropped clients, validation rejections).
+	RoundMetrics *fl.Metrics
 }
 
 func (c *Coordinator) faultTolerant() bool { return c.MinQuorum > 0 }
@@ -146,11 +157,31 @@ type clientConn struct {
 	conn    net.Conn
 }
 
+// decodeUpdate is the byte-budgeted inbound path for one client update:
+// refresh the reader's allowance, gob-decode, stamp the authoritative
+// client ID (clients cannot impersonate others in the per-round observer
+// view), and validate against the expected parameter length. It must
+// never panic on hostile bytes — only return an error (fuzzed by
+// FuzzDecodeUpdate).
+func decodeUpdate(dec *gob.Decoder, lim *budgetReader, budget int64,
+	clientID, wantLen int) (fl.Update, error) {
+	lim.allow(budget)
+	var um updateMsg
+	if err := dec.Decode(&um); err != nil {
+		return fl.Update{}, err
+	}
+	um.U.ClientID = clientID
+	if err := fl.ValidateUpdate(um.U, wantLen); err != nil {
+		return fl.Update{}, errInvalid{err}
+	}
+	return um.U, nil
+}
+
 // exchange runs one round against one client: send the globals, wait for
 // the update, validate it. RoundTimeout (when set) covers the whole
 // exchange through connection deadlines.
 func (cc *clientConn) exchange(round int, global []float64, timeout time.Duration,
-	budget int64, out *fl.Update) error {
+	budget int64, met *Metrics, out *fl.Update) error {
 	if timeout > 0 {
 		cc.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
 		defer cc.conn.SetDeadline(time.Time{})       //nolint:errcheck
@@ -158,18 +189,15 @@ func (cc *clientConn) exchange(round int, global []float64, timeout time.Duratio
 	if err := cc.enc.Encode(roundMsg{Round: round, Params: global}); err != nil {
 		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
 	}
-	cc.lim.allow(budget)
-	var um updateMsg
-	if err := cc.dec.Decode(&um); err != nil {
-		return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
+	u, err := decodeUpdate(cc.dec, cc.lim, budget, cc.id, len(global))
+	if err != nil {
+		if !errors.As(err, &errInvalid{}) {
+			met.decodeFailure()
+			return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
+		}
+		return fmt.Errorf("transport: round %d: %w", round, err)
 	}
-	// The hello ID is authoritative; clients cannot impersonate others in
-	// the per-round observer view.
-	um.U.ClientID = cc.id
-	if err := fl.ValidateUpdate(um.U, len(global)); err != nil {
-		return fmt.Errorf("transport: round %d: %w", round, errInvalid{err})
-	}
-	*out = um.U
+	*out = u
 	return nil
 }
 
@@ -225,7 +253,7 @@ func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err e
 		if !deadline.IsZero() {
 			conn.SetReadDeadline(deadline) //nolint:errcheck
 		}
-		lim := &budgetReader{r: conn}
+		lim := &budgetReader{r: conn, bytes: c.Metrics.decodeBytesCounter()}
 		cc := &clientConn{
 			enc:  gob.NewEncoder(conn),
 			dec:  gob.NewDecoder(lim),
@@ -235,6 +263,7 @@ func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err e
 		lim.allow(maxHelloBytes)
 		var h hello
 		if err := cc.dec.Decode(&h); err != nil {
+			c.Metrics.decodeFailure()
 			conn.Close()
 			if c.faultTolerant() {
 				continue // tolerate a bad peer; keep waiting for the rest
@@ -253,6 +282,7 @@ func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err e
 		cc.id = h.ID
 		cc.samples = h.NumSamples
 		conns = append(conns, cc)
+		c.Metrics.connAccepted()
 	}
 	return conns, nil
 }
@@ -287,6 +317,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 	copy(global, c.Initial)
 
 	for round := 0; round < c.Rounds; round++ {
+		roundStart := time.Now()
 		updates := make([]fl.Update, len(active))
 		errs := make([]error, len(active))
 		var wg sync.WaitGroup
@@ -294,7 +325,8 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			wg.Add(1)
 			go func(i int, cc *clientConn) {
 				defer wg.Done()
-				errs[i] = cc.exchange(round, global, c.RoundTimeout, c.updateBudget(), &updates[i])
+				errs[i] = cc.exchange(round, global, c.RoundTimeout, c.updateBudget(),
+					c.Metrics, &updates[i])
 			}(i, cc)
 		}
 		wg.Wait()
@@ -308,8 +340,15 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 					return nil, err
 				}
 				cc.conn.Close()
+				reason := failureReason(err)
+				switch reason {
+				case fl.FailTimeout:
+					c.Metrics.stragglerDropped()
+				case fl.FailInvalid:
+					c.RoundMetrics.RecordValidationRejection()
+				}
 				failures = append(failures, fl.ClientFailure{
-					ClientID: cc.id, Round: round, Reason: failureReason(err), Err: err,
+					ClientID: cc.id, Round: round, Reason: reason, Err: err,
 				})
 				continue
 			}
@@ -337,6 +376,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			return nil, fmt.Errorf("transport: round %d: %w", round, err)
 		}
 		global = agg
+		c.RoundMetrics.RecordRound(roundStart, len(valid), len(failures), len(agg))
 	}
 
 	for _, cc := range active {
@@ -368,6 +408,9 @@ type RetryConfig struct {
 	Rng *rand.Rand
 	// Dial overrides the dialer (fault-injection hook); nil dials TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Metrics, when non-nil, counts retry attempts
+	// (transport_retry_attempts_total).
+	Metrics *Metrics
 }
 
 func (rc RetryConfig) withDefaults() RetryConfig {
@@ -428,6 +471,7 @@ func RunClientRetry(addr string, client fl.Client, rc RetryConfig) error {
 	var err error
 	for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			rc.Metrics.retryAttempt()
 			time.Sleep(rc.backoff(attempt - 1))
 		}
 		var joined bool

@@ -11,6 +11,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/telemetry"
 )
 
 // ParseDataset maps the CLI names onto presets and scales.
@@ -85,4 +86,22 @@ func LoadGlobal(path string) (*Global, error) {
 		return nil, fmt.Errorf("flcli: decoding global model: %w", err)
 	}
 	return &g, nil
+}
+
+// StartTelemetry starts the opt-in telemetry endpoint every FL command
+// exposes behind -metrics-addr. An empty addr disables telemetry and
+// returns a nil registry (whose metrics are all no-ops). The returned
+// stop function is safe to call on the nil-telemetry path too.
+func StartTelemetry(addr string) (*telemetry.Registry, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("telemetry: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof\n",
+		srv.Addr())
+	return reg, func() { srv.Close() }, nil //nolint:errcheck
 }

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// The stochastic dropout mask is re-drawn on every Forward, so the naive
+// GradCheck (which re-runs Forward for finite differences) would compare
+// gradients of different functions. Instead we pin the mask from one
+// forward pass and finite-difference the fixed-mask function by hand.
+func TestDropoutBackwardMatchesFixedMaskFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := NewDropout(rng, 0.4)
+	x := tensor.New(3, 10)
+	// Strictly nonzero inputs so the mask is recoverable as out/x.
+	for i := range x.Data {
+		x.Data[i] = 1 + rng.Float64()
+	}
+	out, cache := d.Forward(x, true)
+
+	// Recover the mask the layer drew.
+	mask := make([]float64, x.Size())
+	zeros, kept := 0, 0
+	for i := range mask {
+		mask[i] = out.Data[i] / x.Data[i]
+		if mask[i] == 0 {
+			zeros++
+		} else {
+			kept++
+		}
+	}
+	if zeros == 0 || kept == 0 {
+		t.Fatalf("degenerate mask (%d zeroed, %d kept); pick a different seed", zeros, kept)
+	}
+
+	// Loss L = Σ out_i². dL/dout = 2·out; the layer must pull it back
+	// through the same mask it applied forward.
+	grad := tensor.New(x.Shape...)
+	for i := range grad.Data {
+		grad.Data[i] = 2 * out.Data[i]
+	}
+	analytic := d.Backward(cache, grad)
+
+	const h = 1e-6
+	for i := range x.Data {
+		// f(x) with the pinned mask: Σ (x_j·mask_j)².
+		lossAt := func(xi float64) float64 {
+			s := 0.0
+			for j := range x.Data {
+				v := x.Data[j]
+				if j == i {
+					v = xi
+				}
+				v *= mask[j]
+				s += v * v
+			}
+			return s
+		}
+		numeric := (lossAt(x.Data[i]+h) - lossAt(x.Data[i]-h)) / (2 * h)
+		if math.Abs(analytic.Data[i]-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("dropout input grad[%d] = %g, finite difference = %g",
+				i, analytic.Data[i], numeric)
+		}
+	}
+}
+
+func TestDropoutEvalBackwardPassesGradThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := NewDropout(rng, 0.9)
+	x := tensor.New(2, 8)
+	x.RandNormal(rng, 0, 1)
+	_, cache := d.Forward(x, false)
+	grad := tensor.New(2, 8)
+	grad.RandNormal(rng, 0, 1)
+	if back := d.Backward(cache, grad); !tensor.Equal(back, grad, 0) {
+		t.Fatal("eval-mode dropout backward must pass the gradient through unchanged")
+	}
+}
+
+func TestDropoutMaskScalesSurvivorsByInverseKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	rate := 0.3
+	d := NewDropout(rng, rate)
+	x := tensor.New(4, 25)
+	x.Fill(1)
+	out, _ := d.Forward(x, true)
+	want := 1 / (1 - rate)
+	for i, v := range out.Data {
+		if v != 0 && math.Abs(v-want) > 1e-12 {
+			t.Fatalf("survivor %d scaled to %g, want %g", i, v, want)
+		}
+	}
+}
+
+// bnEvalWrapper forces the eval branch of BatchNorm2D regardless of the
+// train flag, so GradCheck exercises the fixed-statistics affine path
+// (Backward's cc.train == false arm) that inference uses.
+type bnEvalWrapper struct {
+	bn *BatchNorm2D
+}
+
+func (w bnEvalWrapper) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
+	return w.bn.Forward(x, false)
+}
+func (w bnEvalWrapper) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	return w.bn.Backward(cache, grad)
+}
+func (w bnEvalWrapper) Params() []*Param { return w.bn.Params() }
+
+func TestBatchNormEvalBranchGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	bn := NewBatchNorm2D(3)
+	// Populate running statistics with one train-mode pass over warm-up
+	// data so the eval branch normalizes with realistic constants.
+	warm := tensor.New(4, 3, 4, 4)
+	warm.RandNormal(rng, 0.5, 2)
+	bn.Forward(warm, true)
+
+	net := NewSequential(
+		NewConv2D(rng, g, 3),
+		bnEvalWrapper{bn},
+		ReLU{},
+		GlobalAvgPool{},
+		NewDense(rng, 3, 3),
+	)
+	x := tensor.New(3, 2, 4, 4)
+	x.RandNormal(rng, 0, 1)
+	if rel := GradCheck(net, x, randLabels(rng, 3, 3), 9); rel > 1e-3 {
+		t.Fatalf("BatchNorm eval-branch grad check max relative error %v", rel)
+	}
+}
+
+func TestGlobalAvgPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net := NewSequential(
+		GlobalAvgPool{},
+		NewDense(rng, 3, 4),
+	)
+	x := tensor.New(2, 3, 4, 4)
+	x.RandNormal(rng, 0, 1)
+	if rel := GradCheck(net, x, randLabels(rng, 2, 4), 1); rel > 1e-4 {
+		t.Fatalf("GlobalAvgPool grad check max relative error %v", rel)
+	}
+}

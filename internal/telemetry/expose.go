@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// formatFloat renders a float the way both exposition formats need:
+// shortest round-trip representation, +Inf spelled per format by the
+// caller.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			m.metricName(), m.metricHelp(), m.metricName(), m.kind()); err != nil {
+			return err
+		}
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", v.name, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", v.name, formatFloat(v.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			counts := v.BucketCounts()
+			for i, b := range v.bounds {
+				cum += counts[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					v.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				v.name, cum, v.name, formatFloat(v.Sum()), v.name, v.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteExpvar writes every registered metric as one JSON object in the
+// expvar /debug/vars style: counters and gauges as bare numbers,
+// histograms as {"count":…,"sum":…,"buckets":{"<le>":…}} with
+// non-cumulative buckets keyed by upper bound ("+Inf" for the overflow).
+// Sorted by metric name; a nil registry writes "{}".
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	if r != nil {
+		for i, m := range r.snapshot() {
+			sep := ",\n"
+			if i == 0 {
+				sep = "\n"
+			}
+			var err error
+			switch v := m.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%q: %d", sep, v.name, v.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%q: %s", sep, v.name, jsonFloat(v.Value()))
+			case *Histogram:
+				if _, err = fmt.Fprintf(w, "%s%q: {\"count\": %d, \"sum\": %s, \"buckets\": {",
+					sep, v.name, v.Count(), jsonFloat(v.Sum())); err != nil {
+					return err
+				}
+				counts := v.BucketCounts()
+				for j, b := range v.bounds {
+					if _, err = fmt.Fprintf(w, "%q: %d, ", formatFloat(b), counts[j]); err != nil {
+						return err
+					}
+				}
+				_, err = fmt.Fprintf(w, "\"+Inf\": %d}}", counts[len(counts)-1])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// jsonFloat renders a float as valid JSON (NaN/Inf are not representable
+// in JSON; they become null, which keeps the document parseable).
+func jsonFloat(v float64) string {
+	if v != v || v > 1.7e308 || v < -1.7e308 {
+		return "null"
+	}
+	return formatFloat(v)
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck
+	})
+}
+
+// ExpvarHandler serves the expvar-style JSON document.
+func (r *Registry) ExpvarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteExpvar(w) //nolint:errcheck
+	})
+}
+
+// NewMux builds the debug mux every instrumented binary serves:
+// /metrics (Prometheus), /debug/vars (expvar JSON), and the
+// net/http/pprof suite under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", r.ExpvarHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (":0" picks a free port)
+// and returns immediately; the HTTP server runs on its own goroutine
+// until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln) //nolint:errcheck
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Messages below the logger's minimum are
+// discarded before any formatting work happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int32(l))
+}
+
+// ParseLevel maps a flag string to a Level (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// Logger is a minimal leveled structured logger: one line per record,
+// `<RFC3339 time> <LEVEL> <msg> k=v k=v …`. A nil *Logger discards
+// everything, so components can log unconditionally. Safe for concurrent
+// use; the output writer sees whole lines.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	min    atomic.Int32
+	fields string // pre-rendered " k=v" pairs from With
+	now    func() time.Time
+}
+
+// NewLogger writes records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w, now: time.Now}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.min.Store(int32(min))
+}
+
+// With returns a logger that appends the given key/value pairs to every
+// record. A nil receiver stays nil.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := &Logger{w: l.w, fields: l.fields + renderKV(kv), now: l.now}
+	child.min.Store(l.min.Load())
+	return child
+}
+
+// Enabled reports whether a record at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.min.Load()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	b.WriteString(l.fields)
+	b.WriteString(renderKV(kv))
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String()) //nolint:errcheck
+	l.mu.Unlock()
+}
+
+// renderKV formats pairs as " k=v"; values that need quoting get %q. An
+// odd trailing key is rendered with the value "(MISSING)".
+func renderKV(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		var val string
+		if i+1 < len(kv) {
+			val = fmt.Sprint(kv[i+1])
+		} else {
+			val = "(MISSING)"
+		}
+		if strings.ContainsAny(val, " \t\n\"=") {
+			val = fmt.Sprintf("%q", val)
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	return b.String()
+}

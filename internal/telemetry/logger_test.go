@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerFormatAndLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.now = fixedClock
+
+	l.Debug("dropped")
+	l.Info("round complete", "round", 3, "clients", 2)
+	l.Warn("spaced value", "msg", "has spaces")
+
+	got := b.String()
+	want := "2024-03-01T12:00:00Z INFO round complete round=3 clients=2\n" +
+		"2024-03-01T12:00:00Z WARN spaced value msg=\"has spaces\"\n"
+	if got != want {
+		t.Fatalf("log output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLoggerWithFieldsAndMissingValue(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug)
+	l.now = fixedClock
+	child := l.With("client", 7)
+	child.Error("decode failed", "orphan")
+
+	want := "2024-03-01T12:00:00Z ERROR decode failed client=7 orphan=(MISSING)\n"
+	if got := b.String(); got != want {
+		t.Fatalf("log output = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerNilIsSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	l.SetLevel(LevelError)
+	if l.With("k", "v") != nil {
+		t.Fatal("With on nil logger must stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestLoggerSetLevel(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelError)
+	l.now = fixedClock
+	l.Info("hidden")
+	l.SetLevel(LevelDebug)
+	l.Debug("visible")
+	if got := b.String(); !strings.Contains(got, "visible") || strings.Contains(got, "hidden") {
+		t.Fatalf("SetLevel not honored: %q", got)
+	}
+}
+
+func TestLoggerConcurrentWholeLines(t *testing.T) {
+	var b lockedBuilder
+	l := NewLogger(&b, LevelInfo)
+	l.now = fixedClock
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("tick", "worker", id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "2024-03-01T12:00:00Z INFO tick worker=") {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"debug", LevelDebug, true},
+		{"INFO", LevelInfo, true},
+		{"", LevelInfo, true},
+		{"warning", LevelWarn, true},
+		{"error", LevelError, true},
+		{"verbose", LevelInfo, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// lockedBuilder lets concurrent logger goroutines share one buffer; the
+// logger serializes writes itself, but the test's final read needs a
+// consistent view.
+type lockedBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuilder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuilder) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}

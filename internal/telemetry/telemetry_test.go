@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	// Run with -race: 8 goroutines hammering one counter must lose no
+	// increments and trip no race reports.
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "test counter")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeConcurrentAdds(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "test gauge")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*perWorker)*0.5; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_hist", "test histogram", []float64{1, 2, 4})
+	// Prometheus buckets are upper-inclusive: le="1" contains v == 1.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{
+		2, // ≤ 1: 0.5, 1.0
+		2, // (1, 2]: 1.5, 2.0
+		2, // (2, 4]: 3.9, 4.0
+		2, // +Inf: 4.1, 100
+	}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if sum := h.Sum(); sum < 117 || sum > 118 {
+		t.Fatalf("sum = %v, want 117", sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_conc_hist", "h", []float64{0.5})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if h.Sum() != workers*perWorker {
+		t.Fatalf("sum = %v, want %d", h.Sum(), workers*perWorker)
+	}
+}
+
+func TestRegistryReregisterSameKindReturnsSameMetric(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "first")
+	b := reg.Counter("dup_total", "second")
+	if a != b {
+		t.Fatal("re-registering the same counter name must return the same metric")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliases must share state")
+	}
+}
+
+func TestRegistryReregisterKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("clash", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("clash", "g")
+}
+
+func TestPrometheusGoldenOutput(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_requests_total", "Total requests.").Add(7)
+	reg.Gauge("a_temperature", "Current temperature.").Set(36.5)
+	h := reg.Histogram("c_latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP a_temperature Current temperature.
+# TYPE a_temperature gauge
+a_temperature 36.5
+# HELP b_requests_total Total requests.
+# TYPE b_requests_total counter
+b_requests_total 7
+# HELP c_latency_seconds Request latency.
+# TYPE c_latency_seconds histogram
+c_latency_seconds_bucket{le="0.1"} 1
+c_latency_seconds_bucket{le="0.5"} 2
+c_latency_seconds_bucket{le="+Inf"} 3
+c_latency_seconds_sum 2.35
+c_latency_seconds_count 3
+`
+	if got := b.String(); got != golden {
+		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestExpvarGoldenOutput(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_requests_total", "Total requests.").Add(7)
+	reg.Gauge("a_temperature", "Current temperature.").Set(36.5)
+	h := reg.Histogram("c_latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WriteExpvar(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+"a_temperature": 36.5,
+"b_requests_total": 7,
+"c_latency_seconds": {"count": 3, "sum": 2.35, "buckets": {"0.1": 1, "0.5": 1, "+Inf": 1}}
+}
+`
+	if got := b.String(); got != golden {
+		t.Fatalf("expvar exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestNilRegistryAndMetricsAreSafe(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("y", "")
+	h := reg.Histogram("z", "", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("nil registry must write no Prometheus output")
+	}
+	b.Reset()
+	if err := reg.WriteExpvar(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "{\n}\n" {
+		t.Fatalf("nil registry expvar = %q, want empty object", got)
+	}
+}
+
+// BenchmarkNoopMetrics is the acceptance gate for the off path: with
+// telemetry disabled (nil registry → nil metrics), instrumented library
+// code must allocate nothing.
+func BenchmarkNoopMetrics(b *testing.B) {
+	var reg *Registry
+	c := reg.Counter("noop_total", "")
+	g := reg.Gauge("noop_gauge", "")
+	h := reg.Histogram("noop_hist", "", []float64{1, 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(2)
+		g.Set(float64(i))
+		g.Add(1)
+		h.Observe(float64(i))
+	}
+}
+
+func TestNoopMetricsZeroAllocs(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("noop_total", "")
+	g := reg.Gauge("noop_gauge", "")
+	h := reg.Histogram("noop_hist", "", []float64{1, 2})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op metric path allocated %v times per op, want 0", allocs)
+	}
+}
