@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz check
+.PHONY: build test race vet fuzz bench benchsmoke check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,19 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeUpdate -fuzztime=$(FUZZTIME) ./internal/fl/transport
 
-# check is the full CI gate: static analysis, the race-enabled suite, and
-# a short fuzz burst.
-check: vet race fuzz
+# bench regenerates the tracked perf report against the committed seed
+# baseline. The same workloads run under plain `go test -bench` in
+# internal/bench for ad-hoc comparisons.
+bench:
+	$(GO) run ./cmd/cipbench -bench all -baseline BENCH_SEED.json \
+		-bench-out BENCH_PR3.json \
+		-bench-note "blocked GEMM + pooling + parallel rounds PR"
+
+# benchsmoke proves the regression harness itself still runs (one fast
+# kernel workload, report to stdout) without the minutes-long full sweep.
+benchsmoke:
+	$(GO) run ./cmd/cipbench -bench MatMulTransB128 -baseline BENCH_SEED.json >/dev/null
+
+# check is the full CI gate: static analysis, the race-enabled suite, a
+# short fuzz burst, and the bench-harness smoke.
+check: vet race fuzz benchsmoke

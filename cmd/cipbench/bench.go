@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/bench"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// The perf-regression harness behind `make bench`: runs the tracked
+// workloads from internal/bench via testing.Benchmark and emits a
+// BENCH_*.json report. A previous report passed with -baseline becomes each
+// op's "before", so successive perf PRs chain their measurements.
+
+// benchNumbers are one measurement's regression-tracked quantities.
+type benchNumbers struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFLOPS      float64 `json:"gflops,omitempty"`
+}
+
+// benchResult is one workload's entry in the report.
+type benchResult struct {
+	Op      string        `json:"op"`
+	benchNumbers
+	Before  *benchNumbers `json:"before,omitempty"`
+	Speedup float64       `json:"speedup,omitempty"`
+}
+
+// benchReport is the BENCH_*.json schema. A report is a valid -baseline
+// input for the next one.
+type benchReport struct {
+	Note       string        `json:"note,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	FMAKernel  bool          `json:"fma_kernel"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func loadBaseline(path string) (map[string]benchNumbers, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	out := make(map[string]benchNumbers, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Op] = b.benchNumbers
+	}
+	return out, nil
+}
+
+func runBench(filter, baselinePath, outPath, note string) error {
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Note:       note,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FMAKernel:  tensor.HasFMAKernel(),
+	}
+	for _, s := range bench.Specs() {
+		if filter != "all" && !strings.Contains(s.Name, filter) {
+			continue
+		}
+		r := testing.Benchmark(s.Fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed to run", s.Name)
+		}
+		res := benchResult{Op: s.Name, benchNumbers: benchNumbers{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}}
+		if s.FLOPs > 0 && res.NsPerOp > 0 {
+			res.GFLOPS = s.FLOPs / res.NsPerOp // FLOP/ns == GFLOP/s
+		}
+		if b, ok := base[s.Name]; ok {
+			before := b
+			res.Before = &before
+			if res.NsPerOp > 0 {
+				res.Speedup = before.NsPerOp / res.NsPerOp
+			}
+		}
+		line := fmt.Sprintf("%-22s %12.0f ns/op %8d B/op %5d allocs/op",
+			s.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.GFLOPS > 0 {
+			line += fmt.Sprintf("  %6.2f GFLOP/s", res.GFLOPS)
+		}
+		if res.Speedup > 0 {
+			line += fmt.Sprintf("  %5.2fx vs baseline", res.Speedup)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no tracked benchmark matches %q", filter)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}

@@ -30,7 +30,17 @@ func run() error {
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeat := flag.Int("repeat", 1, "run each experiment N times and report mean±std")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	benchFilter := flag.String("bench", "",
+		"run tracked perf workloads (substring match, 'all' for every one) and emit a BENCH json report")
+	benchOut := flag.String("bench-out", "", "write the bench report to this file (default stdout)")
+	baseline := flag.String("baseline", "",
+		"previous bench report whose numbers become each op's 'before'")
+	benchNote := flag.String("bench-note", "", "free-form note embedded in the bench report")
 	flag.Parse()
+
+	if *benchFilter != "" {
+		return runBench(*benchFilter, *baseline, *benchOut, *benchNote)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments (DESIGN.md §4 maps each to its paper artifact):")

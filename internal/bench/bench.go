@@ -1,0 +1,166 @@
+// Package bench defines the repository's tracked performance workloads in
+// one place, so `go test -bench` (see bench_test.go) and the cmd/cipbench
+// regression harness (`make bench` → BENCH_PR3.json) measure the same code.
+// Kernel-level shapes mirror the canonical micro-benchmarks in
+// internal/tensor and internal/nn; Fig4ClientsSweep is the end-to-end
+// federation workload the compute runtime exists for.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/model"
+	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+// Spec is one tracked workload: a benchmark body plus the floating-point
+// work per op, so the harness can report GFLOP/s (0 disables the rate).
+type Spec struct {
+	Name  string
+	FLOPs float64
+	Fn    func(b *testing.B)
+}
+
+// convLoweringFLOPs counts the three GEMMs in one ConvLowering op:
+// rows = 16·16·16 output positions, k = 8·3·3, 16 output channels.
+const convLoweringFLOPs = 3 * 2 * (16 * 16 * 16) * (8 * 3 * 3) * 16
+
+// Specs returns the tracked workloads in reporting order.
+func Specs() []Spec {
+	return []Spec{
+		{"MatMul256", 2 * 256 * 256 * 256, MatMul256},
+		{"MatMulTransB128", 2 * 128 * 128 * 128, MatMulTransB128},
+		{"ConvLowering", convLoweringFLOPs, ConvLowering},
+		{"ConvForwardBackward", 0, ConvForwardBackward},
+		{"Fig4ClientsSweep", 0, Fig4ClientsSweep},
+	}
+}
+
+func benchMats(n int) (*tensor.Tensor, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := tensor.New(n, n), tensor.New(n, n)
+	a.RandNormal(rng, 0, 1)
+	b.RandNormal(rng, 0, 1)
+	return a, b
+}
+
+// MatMul256 is the headline dense GEMM: 256×256 · 256×256.
+func MatMul256(b *testing.B) {
+	x, y := benchMats(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// MatMulTransB128 is the dense layer's forward shape: a · bᵀ at 128.
+func MatMulTransB128(b *testing.B) {
+	x, y := benchMats(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTransB(x, y)
+	}
+}
+
+// ConvLowering is the conv layer's full compute pipeline on pooled buffers
+// (im2col, forward GEMM with fused bias, weight-gradient GEMM,
+// input-gradient GEMM, col2im). Steady state allocates nothing.
+func ConvLowering(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	const n, outC = 16, 16
+	k := g.InC * g.KH * g.KW
+	rows := n * g.OutH() * g.OutW()
+	x := tensor.New(n, g.InC, g.InH, g.InW)
+	x.RandNormal(rng, 0, 1)
+	w := tensor.New(outC, k)
+	w.RandNormal(rng, 0, 1)
+	bias := make([]float64, outC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cols := tensor.GetTensor(rows, k)
+		tensor.Im2ColInto(cols, x, g)
+		prod := tensor.GetTensor(rows, outC)
+		tensor.MatMulTransBBiasInto(prod, cols, w, bias)
+		dW := tensor.GetTensor(outC, k)
+		tensor.MatMulTransAInto(dW, prod, cols)
+		tensor.PutTensor(dW)
+		tensor.MatMulInto(cols, prod, w) // reuse cols as grad-columns dst
+		dx := tensor.GetTensor(n, g.InC, g.InH, g.InW)
+		tensor.Col2ImInto(dx, cols, n, g)
+		tensor.PutTensor(dx)
+		tensor.PutTensor(prod)
+		tensor.PutTensor(cols)
+	}
+}
+
+// ConvForwardBackward is one Conv2D layer's train-mode forward + backward,
+// the path the scratch arena exists for.
+func ConvForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	c := nn.NewConv2D(rng, g, 16)
+	x := tensor.New(16, 8, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	grad := tensor.New(16, 16, 16, 16)
+	grad.RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrads(c.Params())
+		_, cache := c.Forward(x, true)
+		c.Backward(cache, grad)
+	}
+}
+
+// Fig4ClientsSweep trains the non-iid FedAvg federations at the core of
+// Figure 4's client-count sweep at quick scale — the end-to-end workload
+// the kernel, pooling, and parallel-round layers all feed.
+func Fig4ClientsSweep(b *testing.B) {
+	d, err := datasets.Load(datasets.CIFAR100, datasets.Quick, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 5} {
+			sweepFederation(b, d, k, 6)
+		}
+	}
+}
+
+func sweepFederation(b *testing.B, d *datasets.Data, k, rounds int) {
+	ncc := d.Train.NumClasses / 5
+	if ncc < 2 {
+		ncc = 2
+	}
+	rng := rand.New(rand.NewSource(1))
+	shards := datasets.PartitionByClass(d.Train, k, ncc, rng)
+	clients := make([]fl.Client, k)
+	var initial []float64
+	for i := 0; i < k; i++ {
+		net := model.NewClassifier(rand.New(rand.NewSource(2)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+		if initial == nil {
+			initial = nn.FlattenParams(net.Params())
+		}
+		clients[i] = fl.NewLegacyClient(i, net, shards[i], fl.ClientConfig{
+			BatchSize:   16,
+			LocalEpochs: 1,
+			LR:          fl.DecaySchedule(0.05, rounds),
+			Momentum:    0.9,
+		}, nil, rand.New(rand.NewSource(int64(10+i))))
+	}
+	srv := fl.NewServer(initial, clients...)
+	if err := srv.Run(rounds); err != nil {
+		b.Fatal(err)
+	}
+}

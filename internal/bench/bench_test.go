@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+// go-bench entry points for the tracked workloads, so regressions surface
+// in ordinary `go test -bench` runs as well as in `make bench`.
+
+func BenchmarkMatMul256(b *testing.B)           { MatMul256(b) }
+func BenchmarkMatMulTransB128(b *testing.B)     { MatMulTransB128(b) }
+func BenchmarkConvLowering(b *testing.B)        { ConvLowering(b) }
+func BenchmarkConvForwardBackward(b *testing.B) { ConvForwardBackward(b) }
+func BenchmarkFig4ClientsSweep(b *testing.B)    { Fig4ClientsSweep(b) }

@@ -127,7 +127,7 @@ func (s *AdvRegStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y []
 	penaltyGrad := softmaxBackward(probs, gradProbs)
 
 	total := tensor.Add(res.Grad, penaltyGrad)
-	net.Backward(cache, total)
+	nn.TrainBackward(net, cache, total)
 	opt.Step(net.Params())
 
 	// Report the combined objective value for monitoring.

@@ -58,7 +58,7 @@ func (s *DPStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y []int)
 		nn.ZeroGrads(params)
 		logits, cache := net.Forward(mb, true)
 		res := nn.SoftmaxCrossEntropy(logits, my)
-		net.Backward(cache, res.Grad)
+		nn.TrainBackward(net, cache, res.Grad)
 		nn.ClipGradNorm(params, s.Clip)
 		addToVector(accum, params)
 		lossSum += res.Loss * float64(end-start)

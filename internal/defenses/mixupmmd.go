@@ -121,10 +121,10 @@ func (s *MixupMMDStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y 
 				gradProbs.Data[i*s.k+j] = 2 * s.Mu * diff[j] / float64(n)
 			}
 		}
-		net.Backward(memCache, softmaxBackward(memProbs, gradProbs))
+		nn.TrainBackward(net, memCache, softmaxBackward(memProbs, gradProbs))
 	}
 
-	net.Backward(cache, grad)
+	nn.TrainBackward(net, cache, grad)
 	opt.Step(net.Params())
 	return lam*resA.Loss + (1-lam)*resB.Loss
 }

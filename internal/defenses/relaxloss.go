@@ -56,7 +56,7 @@ func (s *RelaxLossStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y
 			}
 		}
 	}
-	net.Backward(cache, grad)
+	nn.TrainBackward(net, cache, grad)
 	opt.Step(net.Params())
 	return res.Loss
 }

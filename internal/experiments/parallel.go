@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel experiment sweeps. The figure grids (fig4/fig5/fig6/fig8) and
+// Repeat's seed loop are maps over independent cells: every cell derives all
+// of its randomness from cfg.Seed, loads or subsets its own datasets, and
+// builds its own federation, so cells can run concurrently. Determinism is
+// preserved the same way the fl engine preserves it (DESIGN.md §9): cells
+// land in an index-addressed slice and rows are appended serially in the
+// original loop order, so the emitted table is bit-identical for every
+// worker count. Anything that does share sequential state — Fig6's
+// attack-side RNG, Repeat's mean±std merge — stays in a serial phase.
+
+// sweepWorkers resolves the worker count for an n-cell sweep: GOMAXPROCS
+// clamped to n. Experiment cells nest further parallelism (client training,
+// GEMM), so oversubscription is bounded per layer rather than multiplied.
+func sweepWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIndexed evaluates fn(0..n-1) on a bounded worker pool and returns the
+// results addressed by index. On failure the lowest-index error wins, so
+// the reported error does not depend on worker interleaving. The serial
+// path (one worker) short-circuits on the first error, matching the
+// original loop structure of the sweeps.
+func runIndexed[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if sweepWorkers(n) < 2 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < sweepWorkers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -25,15 +25,19 @@ func RepeatRunner(id string, r Runner, cfg Config, n int) (*Table, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("experiments: Repeat needs n ≥ 1, got %d", n)
 	}
-	var tables []*Table
-	for i := 0; i < n; i++ {
+	// Seeds are independent runs; fan them out and merge index-addressed
+	// (see parallel.go), so the aggregate is identical to the serial loop.
+	tables, err := runIndexed(n, func(i int) (*Table, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
 		t, err := r(c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: repeat %d of %s: %w", i, id, err)
 		}
-		tables = append(tables, t)
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	base := tables[0]

@@ -210,90 +210,99 @@ func Fig4(cfg Config) (*Table, error) {
 			"passive attack", "active attack"},
 	}
 
+	// Every (clientCount, defense) cell derives all randomness from cfg.Seed
+	// and owns its federations, so the grid fans out over runIndexed and the
+	// rows are appended serially in the original loop order (parallel.go).
+	type cell struct{ k, def int }
+	var cells []cell
 	for _, k := range clientCounts {
-		keep := lastRounds(rounds, 3)
-		steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
-		sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
-
-		type defRun struct {
-			name    string
-			testAcc float64
-			passive float64
-			active  float64
-		}
-		var rows []defRun
-
-		// --- No defense & DP & HDP (legacy-style runs). ---
-		legacyDefs := []struct {
-			name  string
-			opts  func() legacyOpts
-			build func() nn.Layer
-		}{
-			{"NoDefense", func() legacyOpts { return legacyOpts{} }, nil},
-			{fmt.Sprintf("DP(eps=%g)", eps), func() legacyOpts {
-				return legacyOpts{stepFor: func(i int) fl.TrainStep {
-					return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
-				}}
-			}, nil},
-			{fmt.Sprintf("HDP(eps=%g)", eps), func() legacyOpts {
-				return legacyOpts{
-					build: func() nn.Layer {
-						return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
-							cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
-					},
-					stepFor: func(i int) fl.TrainStep {
-						return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
-					},
-				}
-			}, nil},
-		}
-		for _, ld := range legacyDefs {
-			opts := ld.opts()
-			opts.classesPerClient = ncc
-			opts.keepRounds = keep
-			run, err := runLegacy(d.Train, arch, k, rounds, cfg.Seed, opts)
-			if err != nil {
-				return nil, err
-			}
-			pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
-				run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			act, err := legacyActiveAttack(d, arch, k, rounds, cfg.Seed, opts, run)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, defRun{ld.name, run.evalLegacy(d.Test), pass, act})
-		}
-
-		// --- CIP: α = 0.5 matches the paper's Fig. 4 label; the α = 0.9
-		// row shows the strong-defense setting the paper deploys (RQ3).
-		for _, alpha := range []float64{0.5, 0.9} {
-			crun, err := runCIP(d.Train, arch, k, rounds, alpha, cfg.Seed,
-				cipOpts{classesPerClient: ncc, keepRounds: keep})
-			if err != nil {
-				return nil, err
-			}
-			buildZero := func() nn.Layer { return crun.globalModel(nil) }
-			pass, err := passiveAccOn(crun.Recorder.KeptRounds(), buildZero,
-				crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			act, err := cipActiveAttack(d, arch, k, rounds, alpha, cfg.Seed, ncc, false)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, defRun{fmt.Sprintf("CIP(alpha=%.1f)", alpha),
-				crun.evalCIP(d.Test), pass, act})
-		}
-
-		for _, r := range rows {
-			t.AddRow(r.name, fmt.Sprintf("%d", k), f3(r.testAcc), f3(r.passive), f3(r.active))
+		for def := 0; def < 5; def++ {
+			cells = append(cells, cell{k, def})
 		}
 	}
+	rows, err := runIndexed(len(cells), func(i int) ([]string, error) {
+		return fig4Cell(cfg, d, arch, cells[i].k, rounds, ncc, eps, cells[i].def)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
 	return t, nil
+}
+
+// fig4Cell computes one (clientCount, defense) cell of Figure 4 and returns
+// its formatted table row. def indexes the figure's defense order:
+// 0 NoDefense, 1 DP, 2 HDP, 3 CIP(α=0.5), 4 CIP(α=0.9) — α = 0.5 matches
+// the paper's Fig. 4 label; α = 0.9 shows the strong-defense setting the
+// paper deploys (RQ3).
+func fig4Cell(cfg Config, d *datasets.Data, arch model.Arch, k, rounds, ncc int,
+	eps float64, def int) ([]string, error) {
+	keep := lastRounds(rounds, 3)
+	steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
+	sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
+
+	if def >= 3 {
+		alpha := 0.5
+		if def == 4 {
+			alpha = 0.9
+		}
+		crun, err := runCIP(d.Train, arch, k, rounds, alpha, cfg.Seed,
+			cipOpts{classesPerClient: ncc, keepRounds: keep})
+		if err != nil {
+			return nil, err
+		}
+		buildZero := func() nn.Layer { return crun.globalModel(nil) }
+		pass, err := passiveAccOn(crun.Recorder.KeptRounds(), buildZero,
+			crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		act, err := cipActiveAttack(d, arch, k, rounds, alpha, cfg.Seed, ncc, false)
+		if err != nil {
+			return nil, err
+		}
+		return []string{fmt.Sprintf("CIP(alpha=%.1f)", alpha), fmt.Sprintf("%d", k),
+			f3(crun.evalCIP(d.Test)), f3(pass), f3(act)}, nil
+	}
+
+	dpStep := func(i int) fl.TrainStep {
+		return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+	}
+	var name string
+	var opts legacyOpts
+	switch def {
+	case 0:
+		name = "NoDefense"
+	case 1:
+		name = fmt.Sprintf("DP(eps=%g)", eps)
+		opts.stepFor = dpStep
+	case 2:
+		name = fmt.Sprintf("HDP(eps=%g)", eps)
+		opts.build = func() nn.Layer {
+			return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
+				cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
+		}
+		opts.stepFor = dpStep
+	}
+	opts.classesPerClient = ncc
+	opts.keepRounds = keep
+	run, err := runLegacy(d.Train, arch, k, rounds, cfg.Seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
+		run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	act, err := legacyActiveAttack(d, arch, k, rounds, cfg.Seed, opts, run)
+	if err != nil {
+		return nil, err
+	}
+	return []string{name, fmt.Sprintf("%d", k),
+		f3(run.evalLegacy(d.Test)), f3(pass), f3(act)}, nil
 }
 
 // legacyActiveAttack reruns a legacy federation with the Nasr active
@@ -416,41 +425,62 @@ func Fig5(cfg Config) (*Table, error) {
 		Title:  "RQ1-internal: CIP vs DP across architectures and epsilon (2 clients)",
 		Header: []string{"model", "defense", "test acc", "passive attack"},
 	}
+	// Arch × defense cells are independent (all randomness comes from
+	// cfg.Seed); fan out and append rows in the original order.
+	type cell struct {
+		arch model.Arch
+		eps  float64 // DP budget; unused for the CIP cell
+		cip  bool
+	}
+	var cells []cell
 	for _, arch := range []model.Arch{model.VGG, model.DenseNet, model.ResNet} {
-		crun, err := runCIP(d.Train, arch, k, rounds, 0.5, cfg.Seed,
-			cipOpts{classesPerClient: ncc, keepRounds: keep})
-		if err != nil {
-			return nil, err
-		}
-		pass, err := passiveAccOn(crun.Recorder.KeptRounds(),
-			func() nn.Layer { return crun.globalModel(nil) },
-			crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(arch.String(), "CIP(alpha=0.5)", f3(crun.evalCIP(d.Test)), f3(pass))
-
+		cells = append(cells, cell{arch: arch, cip: true})
 		for _, eps := range epsList {
-			steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
-			sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
-			run, err := runLegacy(d.Train, arch, k, rounds, cfg.Seed, legacyOpts{
-				classesPerClient: ncc,
-				keepRounds:       keep,
-				stepFor: func(i int) fl.TrainStep {
-					return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
-				run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(arch.String(), fmt.Sprintf("DP(eps=%g)", eps),
-				f3(run.evalLegacy(d.Test)), f3(pass))
+			cells = append(cells, cell{arch: arch, eps: eps})
 		}
+	}
+	rows, err := runIndexed(len(cells), func(ci int) ([]string, error) {
+		c := cells[ci]
+		if c.cip {
+			crun, err := runCIP(d.Train, c.arch, k, rounds, 0.5, cfg.Seed,
+				cipOpts{classesPerClient: ncc, keepRounds: keep})
+			if err != nil {
+				return nil, err
+			}
+			pass, err := passiveAccOn(crun.Recorder.KeptRounds(),
+				func() nn.Layer { return crun.globalModel(nil) },
+				crun.Clients[0].Data(), matchClasses(d.Test, crun.Clients[0].Data()), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return []string{c.arch.String(), "CIP(alpha=0.5)",
+				f3(crun.evalCIP(d.Test)), f3(pass)}, nil
+		}
+		steps := rounds * (d.Train.Len() / k / defaultHyper().batch)
+		sigma := defenses.NoiseMultiplierFor(c.eps, 1e-5, steps)
+		run, err := runLegacy(d.Train, c.arch, k, rounds, cfg.Seed, legacyOpts{
+			classesPerClient: ncc,
+			keepRounds:       keep,
+			stepFor: func(i int) fl.TrainStep {
+				return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pass, err := passiveAccOn(run.Recorder.KeptRounds(), run.Build,
+			run.Shards[0], matchClasses(d.Test, run.Shards[0]), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []string{c.arch.String(), fmt.Sprintf("DP(eps=%g)", c.eps),
+			f3(run.evalLegacy(d.Test)), f3(pass)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -483,83 +513,91 @@ func Fig6(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 5))
-
 	t := &Table{
 		ID:     "fig6",
 		Title:  "RQ1-external: CIP vs defenses on CH-MNIST (1 client, Pb-Bayes attack)",
 		Header: []string{"defense", "budget", "test acc", "attack acc"},
 	}
 
-	addLegacy := func(name, budget string, opts legacyOpts) error {
-		run, err := runLegacy(split.TargetTrain, arch, 1, rounds, cfg.Seed, opts)
-		if err != nil {
-			return err
+	// Two phases (parallel.go): training cells are independent and fan out;
+	// the Pb-Bayes attacks share one sequential RNG (cfg.Seed+5) and the
+	// shadow bundle, so they run serially afterwards in the original row
+	// order — the rows are bit-identical to the fully serial schedule
+	// because training never touches the attack RNG.
+	type fig6Run struct {
+		name, budget string
+		testAcc      float64
+		net          nn.Layer
+		m, nm        *datasets.Dataset
+	}
+	legacyCell := func(name, budget string, opts legacyOpts) func() (fig6Run, error) {
+		return func() (fig6Run, error) {
+			run, err := runLegacy(split.TargetTrain, arch, 1, rounds, cfg.Seed, opts)
+			if err != nil {
+				return fig6Run{}, err
+			}
+			return fig6Run{name, budget, run.evalLegacy(d.Test),
+				run.globalNet(), members, nonMembers}, nil
 		}
-		net := run.globalNet()
-		res := attacks.PbBayes(net, members, nonMembers, shadow, rng)
-		t.AddRow(name, budget, f3(run.evalLegacy(d.Test)), f3(res.Accuracy()))
-		return nil
 	}
 
-	if err := addLegacy("NoDefense", "-", legacyOpts{}); err != nil {
-		return nil, err
+	specs := []func() (fig6Run, error){
+		legacyCell("NoDefense", "-", legacyOpts{}),
+		func() (fig6Run, error) {
+			crun, err := runCIP(split.TargetTrain, arch, 1, rounds, 0.9, cfg.Seed, cipOpts{})
+			if err != nil {
+				return fig6Run{}, err
+			}
+			probe := crun.globalModel(nil)
+			cm, cn := equalize(crun.Clients[0].Data(), split.NonMembers)
+			return fig6Run{"CIP(alpha=0.9)", "-", crun.evalCIP(d.Test), probe, cm, cn}, nil
+		},
 	}
-
-	crun, err := runCIP(split.TargetTrain, arch, 1, rounds, 0.9, cfg.Seed, cipOpts{})
-	if err != nil {
-		return nil, err
-	}
-	probe := crun.globalModel(nil)
-	cm, cn := equalize(crun.Clients[0].Data(), split.NonMembers)
-	res := attacks.PbBayes(probe, cm, cn, shadow, rng)
-	t.AddRow("CIP(alpha=0.9)", "-", f3(crun.evalCIP(d.Test)), f3(res.Accuracy()))
-
 	steps := rounds * (split.TargetTrain.Len() / defaultHyper().batch)
 	for _, eps := range epsList {
 		sigma := defenses.NoiseMultiplierFor(eps, 1e-5, steps)
-		if err := addLegacy("DP", fmt.Sprintf("eps=%g", eps), legacyOpts{
-			stepFor: func(i int) fl.TrainStep {
-				return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
-			}}); err != nil {
-			return nil, err
+		dpStep := func(i int) fl.TrainStep {
+			return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
 		}
-		if err := addLegacy("HDP", fmt.Sprintf("eps=%g", eps), legacyOpts{
-			build: func() nn.Layer {
-				return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
-					cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
-			},
-			stepFor: func(i int) fl.TrainStep {
-				return defenses.NewDPStep(1.0, sigma, 8, rand.New(rand.NewSource(cfg.Seed+int64(i))))
-			}}); err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			legacyCell("DP", fmt.Sprintf("eps=%g", eps), legacyOpts{stepFor: dpStep}),
+			legacyCell("HDP", fmt.Sprintf("eps=%g", eps), legacyOpts{
+				build: func() nn.Layer {
+					return defenses.NewHDPClassifier(rand.New(rand.NewSource(cfg.Seed+1)),
+						cfg.Seed+2, d.Train.In, 128, d.Train.NumClasses)
+				},
+				stepFor: dpStep,
+			}))
 	}
 	for _, lam := range lamList {
-		if err := addLegacy("AR", fmt.Sprintf("lambda=%g", lam), legacyOpts{
+		specs = append(specs, legacyCell("AR", fmt.Sprintf("lambda=%g", lam), legacyOpts{
 			stepFor: func(i int) fl.TrainStep {
 				return defenses.NewAdvRegStep(lam, split.ShadowTest.Clone(), d.Train.NumClasses,
 					rand.New(rand.NewSource(cfg.Seed+int64(i))))
-			}}); err != nil {
-			return nil, err
-		}
+			}}))
 	}
 	for _, mu := range muList {
-		if err := addLegacy("MM", fmt.Sprintf("mu=%g", mu), legacyOpts{
+		specs = append(specs, legacyCell("MM", fmt.Sprintf("mu=%g", mu), legacyOpts{
 			stepFor: func(i int) fl.TrainStep {
 				return defenses.NewMixupMMDStep(mu, 0.4, split.ShadowTest.Clone(), d.Train.NumClasses,
 					rand.New(rand.NewSource(cfg.Seed+int64(i))))
-			}}); err != nil {
-			return nil, err
-		}
+			}}))
 	}
 	for _, om := range omList {
-		if err := addLegacy("RL", fmt.Sprintf("omega=%g", om), legacyOpts{
+		specs = append(specs, legacyCell("RL", fmt.Sprintf("omega=%g", om), legacyOpts{
 			stepFor: func(i int) fl.TrainStep {
 				return defenses.NewRelaxLossStep(om)
-			}}); err != nil {
-			return nil, err
-		}
+			}}))
+	}
+
+	runs, err := runIndexed(len(specs), func(i int) (fig6Run, error) { return specs[i]() })
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	for _, r := range runs {
+		res := attacks.PbBayes(r.net, r.m, r.nm, shadow, rng)
+		t.AddRow(r.name, r.budget, f3(r.testAcc), f3(res.Accuracy()))
 	}
 	return t, nil
 }

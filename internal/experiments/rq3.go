@@ -89,18 +89,31 @@ func Fig8(cfg Config) (*Table, error) {
 		Title:  "RQ3: external attack accuracy vs alpha, per dataset",
 		Header: append([]string{"dataset", "alpha"}, attackNames...),
 	}
+	// Each (dataset, α) cell loads its own data, trains its own federation
+	// and shadow model, and owns its attack RNG (cfg.Seed+7) — fully
+	// independent, so the grid fans out over runIndexed (parallel.go).
+	type gridCell struct {
+		p datasets.Preset
+		a float64
+	}
+	var cells []gridCell
 	for _, p := range rq3Presets(cfg.Scale) {
 		for _, a := range alphas {
-			cell, err := runRQ3Cell(cfg, p, a)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{p.String(), fmt.Sprintf("%.1f", a)}
-			for _, name := range attackNames {
-				row = append(row, f3(cell.results[name].Accuracy()))
-			}
-			t.AddRow(row...)
+			cells = append(cells, gridCell{p, a})
 		}
+	}
+	results, err := runIndexed(len(cells), func(i int) (*rq3Cell, error) {
+		return runRQ3Cell(cfg, cells[i].p, cells[i].a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range results {
+		row := []string{cells[i].p.String(), fmt.Sprintf("%.1f", cells[i].a)}
+		for _, name := range attackNames {
+			row = append(row, f3(cell.results[name].Accuracy()))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

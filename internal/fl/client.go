@@ -26,7 +26,7 @@ func (PlainStep) Step(net nn.Layer, opt nn.Optimizer, x *tensor.Tensor, y []int)
 	nn.ZeroGrads(net.Params())
 	logits, cache := net.Forward(x, true)
 	res := nn.SoftmaxCrossEntropy(logits, y)
-	net.Backward(cache, res.Grad)
+	nn.TrainBackward(net, cache, res.Grad)
 	opt.Step(net.Params())
 	return res.Loss
 }

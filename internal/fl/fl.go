@@ -70,6 +70,13 @@ type Server struct {
 	// Metrics, when non-nil, receives per-round telemetry (round
 	// duration, participating/dropped clients, validation rejections).
 	Metrics *Metrics
+	// Workers bounds how many clients train concurrently within one round
+	// (each client owns its model, optimizer, and RNG, so local training is
+	// an independent map over participants). 0 means GOMAXPROCS. Results
+	// are bit-identical for every worker count: parameters are altered in
+	// a serial pre-pass, updates land in an index-addressed slice, and
+	// observers and aggregation run serially in roster order.
+	Workers int
 
 	global []float64
 }
@@ -99,23 +106,17 @@ func (s *Server) RunRound(round int) error {
 	if s.Policy != nil {
 		return s.runRoundQuorum(round, start, participants)
 	}
+	outcomes, workers, busy := s.trainParticipants(round, participants)
 	updates := make([]Update, len(participants))
 	for i, c := range participants {
-		params := s.global
-		if s.Alter != nil {
-			if altered := s.Alter(round, c.ID(), s.Global()); altered != nil {
-				params = altered
-			}
-		}
-		u, err := c.TrainLocal(round, params)
-		if err != nil {
+		if err := outcomes[i].err; err != nil {
 			return fmt.Errorf("fl: client %d round %d: %w", c.ID(), round, err)
 		}
+		u := outcomes[i].update
 		if len(u.Params) != len(s.global) {
 			return fmt.Errorf("fl: client %d returned %d params, want %d",
 				c.ID(), len(u.Params), len(s.global))
 		}
-		u.ClientID = c.ID()
 		updates[i] = u
 	}
 	for _, o := range s.Observers {
@@ -127,6 +128,7 @@ func (s *Server) RunRound(round int) error {
 	}
 	s.global = agg
 	s.Metrics.RecordRound(start, len(updates), 0, len(agg))
+	s.Metrics.RecordWorkerPool(workers, busy, time.Since(start))
 	return nil
 }
 

@@ -26,6 +26,16 @@ type Metrics struct {
 	ValidationRejections *telemetry.Counter // fl_validation_rejections_total
 	// UpdateParams is the parameter count of the aggregated model.
 	UpdateParams *telemetry.Gauge // fl_update_params
+	// RoundWorkers is the worker-pool size used by the most recent round.
+	RoundWorkers *telemetry.Gauge // fl_round_workers
+	// WorkerUtilization is the fraction of the most recent round's
+	// worker-seconds spent inside client training (busy / (workers·wall)).
+	// Near 1.0 means the pool is saturated; low values mean stragglers or
+	// too many workers for the participant count.
+	WorkerUtilization *telemetry.Gauge // fl_round_worker_utilization
+	// ClientTrainMillis accumulates per-client local-training wall time in
+	// milliseconds across all rounds (the pool's total busy time).
+	ClientTrainMillis *telemetry.Counter // fl_client_train_milliseconds_total
 }
 
 // NewMetrics registers the federation metrics on reg. A nil reg returns
@@ -47,6 +57,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Updates rejected by validation (NaN/Inf or length mismatch)."),
 		UpdateParams: reg.Gauge("fl_update_params",
 			"Parameter count of the aggregated model."),
+		RoundWorkers: reg.Gauge("fl_round_workers",
+			"Worker-pool size used by the most recent round."),
+		WorkerUtilization: reg.Gauge("fl_round_worker_utilization",
+			"Fraction of the most recent round's worker-seconds spent training clients."),
+		ClientTrainMillis: reg.Counter("fl_client_train_milliseconds_total",
+			"Accumulated per-client local-training wall time, in milliseconds."),
 	}
 }
 
@@ -62,6 +78,20 @@ func (m *Metrics) RecordRound(start time.Time, participating, dropped, params in
 	m.ClientsParticipating.Set(float64(participating))
 	m.ClientsDropped.Add(uint64(dropped))
 	m.UpdateParams.Set(float64(params))
+}
+
+// RecordWorkerPool records one round's worker-pool shape: the pool size,
+// the summed per-client training time (busy), and the round's wall time.
+// Nil-safe.
+func (m *Metrics) RecordWorkerPool(workers int, busy, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.RoundWorkers.Set(float64(workers))
+	if workers > 0 && wall > 0 {
+		m.WorkerUtilization.Set(busy.Seconds() / (float64(workers) * wall.Seconds()))
+	}
+	m.ClientTrainMillis.Add(uint64(busy.Milliseconds()))
 }
 
 // RecordValidationRejection counts one ValidateUpdate rejection. Nil-safe.

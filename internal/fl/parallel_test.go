@@ -1,0 +1,78 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/telemetry"
+)
+
+func runTestFederation(t *testing.T, workers int, policy *RoundPolicy) []float64 {
+	t.Helper()
+	train, _ := quickData(t, 11)
+	clients, initial := newTestClients(t, train, 5)
+	srv := NewServer(initial, clients...)
+	srv.Workers = workers
+	srv.Policy = policy
+	if err := srv.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	return srv.Global()
+}
+
+func requireBitIdentical(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: param count %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: param %d differs: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelRoundsBitIdentical pins the engine's determinism contract
+// (DESIGN.md §9): the global model after training must match the serial
+// schedule bit for bit no matter how many workers train clients
+// concurrently.
+func TestParallelRoundsBitIdentical(t *testing.T) {
+	serial := runTestFederation(t, 1, nil)
+	for _, workers := range []int{2, 5, 8} {
+		got := runTestFederation(t, workers, nil)
+		requireBitIdentical(t, fmt.Sprintf("workers=%d", workers), serial, got)
+	}
+}
+
+// TestParallelQuorumBitIdentical is the same contract for the
+// fault-tolerant path: quorum classification happens serially in
+// participant order, so partial aggregation is also schedule-independent.
+func TestParallelQuorumBitIdentical(t *testing.T) {
+	serial := runTestFederation(t, 1, &RoundPolicy{MinQuorum: 3})
+	got := runTestFederation(t, 4, &RoundPolicy{MinQuorum: 3})
+	requireBitIdentical(t, "quorum workers=4", serial, got)
+}
+
+// TestWorkerPoolMetrics checks the utilization telemetry: a round's busy
+// time is the sum of client training times, so utilization lands in (0, 1].
+func TestWorkerPoolMetrics(t *testing.T) {
+	train, _ := quickData(t, 12)
+	clients, initial := newTestClients(t, train, 4)
+	srv := NewServer(initial, clients...)
+	srv.Workers = 2
+	srv.Metrics = NewMetrics(telemetry.NewRegistry())
+	if err := srv.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics.RoundWorkers.Value(); got != 2 {
+		t.Fatalf("fl_round_workers = %v, want 2", got)
+	}
+	util := srv.Metrics.WorkerUtilization.Value()
+	if util <= 0 || util > 1 {
+		t.Fatalf("fl_round_worker_utilization = %v, want in (0, 1]", util)
+	}
+	if srv.Metrics.ClientTrainMillis.Value() == 0 {
+		t.Fatal("fl_client_train_milliseconds_total stayed zero across 2 rounds")
+	}
+}

@@ -90,23 +90,20 @@ func ValidateUpdate(u Update, wantLen int) error {
 // drop failures and invalid updates, and aggregate over the surviving
 // quorum.
 func (s *Server) runRoundQuorum(round int, start time.Time, participants []Client) error {
+	outcomes, workers, busy := s.trainParticipants(round, participants)
+	// Classify outcomes serially in participant order, so the valid and
+	// failure lists (and everything downstream: observers, aggregation)
+	// are independent of worker interleaving.
 	valid := make([]Update, 0, len(participants))
 	var failures []ClientFailure
-	for _, c := range participants {
-		params := s.global
-		if s.Alter != nil {
-			if altered := s.Alter(round, c.ID(), s.Global()); altered != nil {
-				params = altered
-			}
-		}
-		u, err := c.TrainLocal(round, params)
-		if err != nil {
+	for i, c := range participants {
+		if err := outcomes[i].err; err != nil {
 			failures = append(failures, ClientFailure{
 				ClientID: c.ID(), Round: round, Reason: FailTrain, Err: err,
 			})
 			continue
 		}
-		u.ClientID = c.ID()
+		u := outcomes[i].update
 		if err := ValidateUpdate(u, len(s.global)); err != nil {
 			s.Metrics.RecordValidationRejection()
 			failures = append(failures, ClientFailure{
@@ -138,5 +135,6 @@ func (s *Server) runRoundQuorum(round int, start time.Time, participants []Clien
 	}
 	s.global = agg
 	s.Metrics.RecordRound(start, len(valid), len(failures), len(agg))
+	s.Metrics.RecordWorkerPool(workers, busy, time.Since(start))
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/telemetry"
+	"github.com/cip-fl/cip/internal/tensor"
 )
 
 // ParseDataset maps the CLI names onto presets and scales.
@@ -97,6 +98,7 @@ func StartTelemetry(addr string) (*telemetry.Registry, func(), error) {
 		return nil, func() {}, nil
 	}
 	reg := telemetry.NewRegistry()
+	tensor.EnableMetrics(reg)
 	srv, err := telemetry.Serve(addr, reg)
 	if err != nil {
 		return nil, nil, err

@@ -88,6 +88,11 @@ func (b *Backbone) Backward(cache nn.Cache, grad *tensor.Tensor) *tensor.Tensor 
 	return b.Net.Backward(cache, grad)
 }
 
+// BackwardParams implements nn.ParamBackprop.
+func (b *Backbone) BackwardParams(cache nn.Cache, grad *tensor.Tensor) {
+	nn.TrainBackward(b.Net, cache, grad)
+}
+
 // Params implements nn.Layer.
 func (b *Backbone) Params() []*nn.Param { return b.Net.Params() }
 
@@ -251,6 +256,11 @@ func (c *Classifier) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, nn.C
 // Backward implements nn.Layer.
 func (c *Classifier) Backward(cache nn.Cache, grad *tensor.Tensor) *tensor.Tensor {
 	return c.net.Backward(cache, grad)
+}
+
+// BackwardParams implements nn.ParamBackprop.
+func (c *Classifier) BackwardParams(cache nn.Cache, grad *tensor.Tensor) {
+	c.net.BackwardParams(cache, grad)
 }
 
 // Params implements nn.Layer.

@@ -10,32 +10,20 @@ import (
 type ReLU struct{}
 
 type reluCache struct {
-	mask []bool
+	y *tensor.Tensor
 }
 
-// Forward zeroes negative activations.
+// Forward zeroes negative activations. The output doubles as the backward
+// gate (y > 0 exactly when the input was positive), so no mask is stored.
 func (ReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
-	out := tensor.New(x.Shape...)
-	mask := make([]bool, len(x.Data))
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			mask[i] = true
-		}
-	}
-	return out, &reluCache{mask: mask}
+	out := tensor.ReluInto(tensor.New(x.Shape...), x)
+	return out, &reluCache{y: out}
 }
 
-// Backward gates the gradient by the forward activation mask.
+// Backward gates the gradient by the forward output's sign.
 func (ReLU) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 	c := cache.(*reluCache)
-	out := tensor.New(grad.Shape...)
-	for i, m := range c.mask {
-		if m {
-			out.Data[i] = grad.Data[i]
-		}
-	}
-	return out
+	return tensor.ReluGateInto(tensor.New(grad.Shape...), c.y, grad)
 }
 
 // Params returns nil; ReLU has no parameters.

@@ -50,6 +50,26 @@ func BenchmarkForwardBackwardStep(b *testing.B) {
 	}
 }
 
+// BenchmarkConvForwardBackward isolates one Conv2D layer's train-mode
+// forward + backward, the path the scratch arena exists for: im2col
+// columns, GEMM product, reordered grad, and dW all come from the pool, so
+// steady-state allocations are just the two escaping output tensors.
+func BenchmarkConvForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{InC: 8, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	c := NewConv2D(rng, g, 16)
+	x := tensor.New(16, 8, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	grad := tensor.New(16, 16, 16, 16)
+	grad.RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrads(c.Params())
+		_, cache := c.Forward(x, true)
+		c.Backward(cache, grad)
+	}
+}
+
 func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	logits := tensor.New(128, 100)

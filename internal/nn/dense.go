@@ -29,24 +29,29 @@ type denseCache struct {
 	x *tensor.Tensor
 }
 
-// Forward computes x·Wᵀ + b.
+// Forward computes x·Wᵀ + b, with the bias fused into the GEMM epilogue.
 func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, Cache) {
-	out := tensor.MatMulTransB(x, d.W.Value) // [N, Out]
-	n := x.Shape[0]
-	for i := 0; i < n; i++ {
-		row := out.Data[i*d.Out : (i+1)*d.Out]
-		for j := range row {
-			row[j] += d.B.Value.Data[j]
-		}
-	}
+	out := tensor.New(x.Shape[0], d.Out)
+	tensor.MatMulTransBBiasInto(out, x, d.W.Value, d.B.Value.Data)
 	return out, &denseCache{x: x}
 }
 
 // Backward accumulates dW = gradᵀ·x and db = Σ grad, returning grad·W.
+// dW is staged through a pooled scratch tensor so the accumulation
+// allocates nothing.
 func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	d.BackwardParams(cache, grad)
+	return tensor.MatMul(grad, d.W.Value) // [N, In]
+}
+
+// BackwardParams implements ParamBackprop: weight/bias gradients without
+// the grad·W product a first layer never needs.
+func (d *Dense) BackwardParams(cache Cache, grad *tensor.Tensor) {
 	c := cache.(*denseCache)
-	dW := tensor.MatMulTransA(grad, c.x) // [Out, In]
+	dW := tensor.GetTensor(d.Out, d.In)
+	tensor.MatMulTransAInto(dW, grad, c.x) // [Out, In]
 	tensor.AddInPlace(d.W.Grad, dW)
+	tensor.PutTensor(dW)
 	n := grad.Shape[0]
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*d.Out : (i+1)*d.Out]
@@ -54,7 +59,6 @@ func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 			d.B.Grad.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMul(grad, d.W.Value) // [N, In]
 }
 
 // Params returns the weight and bias.

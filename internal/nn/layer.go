@@ -86,6 +86,50 @@ func (s *Sequential) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 	return g
 }
 
+// ParamBackprop is implemented by layers that can accumulate parameter
+// gradients without materializing the gradient with respect to their
+// input. A network's first layer produces an input gradient nobody reads —
+// for a convolution that gradient costs a full GEMM plus a col2im scatter —
+// so training steps go through TrainBackward to skip it.
+type ParamBackprop interface {
+	// BackwardParams is Backward minus the input-gradient computation.
+	BackwardParams(cache Cache, grad *tensor.Tensor)
+}
+
+// BackwardParams implements ParamBackprop: layers after the first
+// backpropagate normally, and the first layer skips its input gradient
+// when it knows how to.
+func (s *Sequential) BackwardParams(cache Cache, grad *tensor.Tensor) {
+	c, ok := cache.(*sequentialCache)
+	if !ok {
+		panic(fmt.Sprintf("nn: Sequential.BackwardParams got cache of type %T", cache))
+	}
+	g := grad
+	for i := len(s.Layers) - 1; i >= 1; i-- {
+		g = s.Layers[i].Backward(c.caches[i], g)
+	}
+	if len(s.Layers) == 0 {
+		return
+	}
+	if pb, ok := s.Layers[0].(ParamBackprop); ok {
+		pb.BackwardParams(c.caches[0], g)
+		return
+	}
+	s.Layers[0].Backward(c.caches[0], g)
+}
+
+// TrainBackward backpropagates a training step's loss gradient. Training
+// never consumes the network's own input gradient, so the first layer may
+// skip computing it; use net.Backward directly when the input gradient is
+// needed (gradient checking, input-space perturbation).
+func TrainBackward(net Layer, cache Cache, grad *tensor.Tensor) {
+	if pb, ok := net.(ParamBackprop); ok {
+		pb.BackwardParams(cache, grad)
+		return
+	}
+	net.Backward(cache, grad)
+}
+
 // Params returns the concatenated parameters of all layers.
 func (s *Sequential) Params() []*Param {
 	var ps []*Param

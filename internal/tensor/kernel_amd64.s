@@ -1,0 +1,179 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fmaKernel4x8(a0, a1, a2, a3, bp, c *float64, kc int)
+//
+// Computes the 4×8 micro-tile c[r][j] = Σ_p a{r}[p] * bp[p*8+j] for
+// p in [0, kc), overwriting c. The eight accumulators (Y4..Y11) stay in
+// registers across the whole k-loop; each iteration streams 8 packed B
+// values (two YMM loads) and broadcasts one A value per row, issuing
+// 8 FMAs = 64 double FLOPs.
+TEXT ·fmaKernel4x8(SB), NOSPLIT, $0-56
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ bp+32(FP), R12
+	MOVQ c+40(FP), R13
+	MOVQ kc+48(FP), CX
+
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+loop:
+	VMOVUPD (R12), Y0            // b[0:4]
+	VMOVUPD 32(R12), Y1          // b[4:8]
+
+	VBROADCASTSD (R8), Y2        // a0[p]
+	VBROADCASTSD (R9), Y3        // a1[p]
+	VFMADD231PD Y0, Y2, Y4
+	VFMADD231PD Y1, Y2, Y5
+	VFMADD231PD Y0, Y3, Y6
+	VFMADD231PD Y1, Y3, Y7
+
+	VBROADCASTSD (R10), Y2       // a2[p]
+	VBROADCASTSD (R11), Y3       // a3[p]
+	VFMADD231PD Y0, Y2, Y8
+	VFMADD231PD Y1, Y2, Y9
+	VFMADD231PD Y0, Y3, Y10
+	VFMADD231PD Y1, Y3, Y11
+
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $64, R12
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPD Y4, (R13)
+	VMOVUPD Y5, 32(R13)
+	VMOVUPD Y6, 64(R13)
+	VMOVUPD Y7, 96(R13)
+	VMOVUPD Y8, 128(R13)
+	VMOVUPD Y9, 160(R13)
+	VMOVUPD Y10, 192(R13)
+	VMOVUPD Y11, 224(R13)
+	VZEROUPPER
+	RET
+
+// func fmaAxpy(dst, src *float64, alpha float64, n int)
+//
+// dst[i] += alpha * src[i] for i in [0, n). The 8-wide body issues two
+// YMM load/FMA/store triples per iteration; the remainder runs scalar
+// FMA so every lane rounds once, like the main loop.
+TEXT ·fmaAxpy(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	VBROADCASTSD alpha+16(FP), Y0
+	MOVQ         n+24(FP), CX
+
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   tail
+
+loop8:
+	VMOVUPD      (SI), Y1
+	VMOVUPD      32(SI), Y2
+	VFMADD213PD  (DI), Y0, Y1
+	VFMADD213PD  32(DI), Y0, Y2
+	VMOVUPD      Y1, (DI)
+	VMOVUPD      Y2, 32(DI)
+	ADDQ         $64, SI
+	ADDQ         $64, DI
+	DECQ         BX
+	JNZ          loop8
+
+tail:
+	ANDQ $7, CX
+	JZ   done
+
+tailloop:
+	VMOVSD       (SI), X1
+	VFMADD213SD  (DI), X0, X1
+	VMOVSD       X1, (DI)
+	ADDQ         $8, SI
+	ADDQ         $8, DI
+	DECQ         CX
+	JNZ          tailloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func avxRelu(dst, src *float64, n int)
+//
+// dst[i] = max(src[i], 0) for i in [0, n); n must be a positive multiple
+// of 4. VMAXPD with src as the first source returns the zero operand when
+// src is NaN, matching the scalar `v > 0` gate.
+TEXT ·avxRelu(SB), NOSPLIT, $0-24
+	MOVQ   dst+0(FP), DI
+	MOVQ   src+8(FP), SI
+	MOVQ   n+16(FP), CX
+	SHRQ   $2, CX
+	VXORPD Y0, Y0, Y0
+
+relulp:
+	VMOVUPD (SI), Y1
+	VMAXPD  Y0, Y1, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     relulp
+
+	VZEROUPPER
+	RET
+
+// func avxReluGate(dst, y, grad *float64, n int)
+//
+// dst[i] = g[i] where y[i] > 0, else 0, for i in [0, n); n must be a
+// positive multiple of 4. The compare uses predicate GT_OQ, so NaN y
+// lanes gate to zero like the scalar comparison.
+TEXT ·avxReluGate(SB), NOSPLIT, $0-32
+	MOVQ   dst+0(FP), DI
+	MOVQ   y+8(FP), SI
+	MOVQ   grad+16(FP), DX
+	MOVQ   n+24(FP), CX
+	SHRQ   $2, CX
+	VXORPD Y0, Y0, Y0
+
+gatelp:
+	VMOVUPD (SI), Y1
+	VCMPPD  $30, Y0, Y1, Y2      // Y2 = (y > 0) lane mask (GT_OQ)
+	VANDPD  (DX), Y2, Y3
+	VMOVUPD Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     gatelp
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,29 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScalarKernelMatchesFMA verifies the Go fallback micro-kernel against
+// the AVX2+FMA assembly path on machines that have it. Both run the same
+// blocked schedule, so the only divergence is FMA's fused rounding step.
+func TestScalarKernelMatchesFMA(t *testing.T) {
+	if !hasFMAKernel {
+		t.Skip("no FMA micro-kernel on this CPU")
+	}
+	defer func() { hasFMAKernel = true }()
+	rng := rand.New(rand.NewSource(9))
+	for _, s := range [][3]int{{17, 33, 29}, {64, 64, 64}, {70, 257, 64}} {
+		a, b := New(s[0], s[1]), New(s[1], s[2])
+		a.RandNormal(rng, 0, 1)
+		b.RandNormal(rng, 0, 1)
+		fma := MatMul(a, b)
+		hasFMAKernel = false
+		scalar := MatMul(a, b)
+		hasFMAKernel = true
+		if !Equal(fma, scalar, 1e-10) {
+			t.Fatalf("FMA and scalar micro-kernels diverge on %v", s)
+		}
+	}
+}

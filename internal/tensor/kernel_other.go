@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package tensor
+
+// hasFMAKernel reports whether a fused-multiply-add assembly micro-kernel
+// is in use; only the amd64 build has one.
+const hasFMAKernel = false
+
+// microKernel computes the mr×nr tile into c (overwriting it) with the
+// portable Go kernel.
+func microKernel(c *[mr * nr]float64, a0, a1, a2, a3, bp []float64, kcb int) {
+	microKernelGo(c, a0, a1, a2, a3, bp, kcb)
+}
+
+// axpyRow adds alpha·src into dst (equal lengths) with the portable loop.
+func axpyRow(dst, src []float64, alpha float64) {
+	axpyRowGo(dst, src, alpha)
+}
+
+// reluKernel rectifies with the portable loop.
+func reluKernel(dst, x []float64) { reluGo(dst, x) }
+
+// reluGateKernel gates gradients with the portable loop.
+func reluGateKernel(dst, y, g []float64) { reluGateGo(dst, y, g) }

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestRowWorkers pins the worker math: small volumes and thin matrices stay
+// serial, large ones clamp to min(GOMAXPROCS, rows).
+func TestRowWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(16)
+	defer runtime.GOMAXPROCS(prev)
+
+	cases := []struct {
+		name         string
+		rows, volume int
+		want         int
+	}{
+		{"below threshold", 256, parallelThreshold - 1, 1},
+		{"at threshold", 256, parallelThreshold, 16},
+		{"thin matrix stays serial", 2*mr - 1, 1 << 30, 1},
+		{"clamped to rows", 9, 1 << 30, 9},
+		{"big square", 4096, 1 << 30, 16},
+	}
+	for _, c := range cases {
+		if got := rowWorkers(c.rows, c.volume); got != c.want {
+			t.Errorf("%s: rowWorkers(%d, %d) = %d, want %d",
+				c.name, c.rows, c.volume, got, c.want)
+		}
+	}
+
+	runtime.GOMAXPROCS(1)
+	if got := rowWorkers(4096, 1<<30); got != 1 {
+		t.Errorf("GOMAXPROCS=1: rowWorkers = %d, want 1", got)
+	}
+}
+
+// TestParallelRowsPartition checks that the chunks handed to fn tile
+// [0, rows) exactly once, that every interior boundary is micro-kernel
+// aligned (no mr-row tile straddles two workers), and that the chunk count
+// never exceeds the worker cap.
+func TestParallelRowsPartition(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, rows := range []int{16, 70, 100, 257} {
+		var mu sync.Mutex
+		var chunks [][2]int
+		parallelRows(rows, 1<<30, func(lo, hi int) {
+			mu.Lock()
+			chunks = append(chunks, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i][0] < chunks[j][0] })
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next {
+				t.Fatalf("rows=%d: chunk starts at %d, want %d (chunks %v)",
+					rows, c[0], next, chunks)
+			}
+			if c[1] != rows && (c[1]-c[0])%mr != 0 {
+				t.Fatalf("rows=%d: interior chunk %v not %d-row aligned", rows, c, mr)
+			}
+			next = c[1]
+		}
+		if next != rows {
+			t.Fatalf("rows=%d: coverage ends at %d", rows, next)
+		}
+		if len(chunks) > 8 {
+			t.Fatalf("rows=%d: %d chunks exceed the worker cap 8", rows, len(chunks))
+		}
+	}
+}
+
+// TestGEMMMatchesNaiveEdgeShapes drives the blocked kernel through shapes
+// that stress every edge: partial mr/nr tiles, single rows and columns, and
+// sizes straddling the kc/nc cache blocks and the parallel threshold. FMA
+// fuses the multiply-add rounding step, so comparison uses a tolerance.
+func TestGEMMMatchesNaiveEdgeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33, 63, 65, 127, 129}
+	for trial := 0; trial < 60; trial++ {
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		a, b := New(m, k), New(k, n)
+		a.RandNormal(rng, 0, 1)
+		b.RandNormal(rng, 0, 1)
+		if !Equal(MatMul(a, b), naiveMatMul(a, b), 1e-9) {
+			t.Fatalf("MatMul(%dx%d, %dx%d) diverges from naive reference", m, k, k, n)
+		}
+	}
+	// Straddle the cache blocks (kcBlock=256, ncBlock=512).
+	for _, s := range [][3]int{{4, 300, 520}, {70, 257, 64}, {130, 512, 9}} {
+		a, b := New(s[0], s[1]), New(s[1], s[2])
+		a.RandNormal(rng, 0, 1)
+		b.RandNormal(rng, 0, 1)
+		if !Equal(MatMul(a, b), naiveMatMul(a, b), 1e-8) {
+			t.Fatalf("MatMul%v diverges from naive reference", s)
+		}
+	}
+}
+
+// TestMatMulTransBBiasIntoMatchesNaive checks the fused-bias epilogue the
+// dense and conv layers use: dst = a·bᵀ + bias, row-broadcast.
+func TestMatMulTransBBiasIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, s := range [][3]int{{1, 1, 1}, {5, 9, 3}, {33, 65, 17}, {70, 70, 70}} {
+		m, k, n := s[0], s[1], s[2]
+		a, bt := New(m, k), New(n, k)
+		a.RandNormal(rng, 0, 1)
+		bt.RandNormal(rng, 0, 1)
+		bias := make([]float64, n)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		want := naiveMatMul(a, Transpose(bt))
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want.Set(want.At(i, j)+bias[j], i, j)
+			}
+		}
+		dst := GetTensor(m, n)
+		MatMulTransBBiasInto(dst, a, bt, bias)
+		if !Equal(dst, want, 1e-9) {
+			t.Fatalf("MatMulTransBBiasInto(%dx%d · (%dx%d)ᵀ) diverges from reference",
+				m, k, n, k)
+		}
+		PutTensor(dst)
+	}
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPoolClassSizing(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1024, 10}, {1025, 11},
+		{1 << maxPoolClass, maxPoolClass},
+		{1<<maxPoolClass + 1, -1},
+	}
+	for _, c := range cases {
+		if got := poolClass(c.n); got != c.class {
+			t.Errorf("poolClass(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetPutReusesStorageLIFO(t *testing.T) {
+	a := GetTensor(33, 7)
+	data := &a.Data[0]
+	PutTensor(a)
+	b := GetTensor(7, 33) // same size class, different shape
+	if &b.Data[0] != data {
+		t.Fatal("pooled storage was not reused LIFO")
+	}
+	if b.Shape[0] != 7 || b.Shape[1] != 33 || len(b.Data) != 231 {
+		t.Fatalf("reused tensor has shape %v, len %d; want [7 33], 231", b.Shape, len(b.Data))
+	}
+	PutTensor(b)
+}
+
+func TestPutTensorRespectsClassCap(t *testing.T) {
+	const n = 64 // class 6
+	c := poolClass(n)
+	// Drain the class so the test owns its state.
+	var drained []*Tensor
+	for {
+		p := &scratchPools[c]
+		p.mu.Lock()
+		empty := len(p.free) == 0
+		p.mu.Unlock()
+		if empty {
+			break
+		}
+		drained = append(drained, GetTensor(n))
+	}
+	held := make([]*Tensor, 0, classCap(c)+5)
+	for i := 0; i < classCap(c)+5; i++ {
+		held = append(held, &Tensor{Shape: []int{n}, Data: make([]float64, 1<<c)[:n]})
+	}
+	for _, h := range held {
+		PutTensor(h)
+	}
+	p := &scratchPools[c]
+	p.mu.Lock()
+	got := len(p.free)
+	p.mu.Unlock()
+	if got != classCap(c) {
+		t.Fatalf("class %d retains %d buffers, want cap %d", c, got, classCap(c))
+	}
+	for _, d := range drained {
+		PutTensor(d)
+	}
+}
+
+func TestGetTensorOverflowFallsThrough(t *testing.T) {
+	n := 1<<maxPoolClass + 1
+	x := GetTensor(n)
+	if len(x.Data) != n || x.Shape[0] != n {
+		t.Fatalf("overflow tensor has len %d shape %v", len(x.Data), x.Shape)
+	}
+	PutTensor(x) // must be a no-op, not a pool entry with a foreign capacity
+	y := GetTensor(16)
+	if cap(y.Data) != 16 {
+		t.Fatalf("pool handed out a buffer with capacity %d from class 4", cap(y.Data))
+	}
+	PutTensor(y)
+}
+
+// TestPoolConcurrentGetPut exercises the freelist locking under -race.
+func TestPoolConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				x := GetTensor(1+rng.Intn(64), 1+rng.Intn(64))
+				x.Data[0] = float64(i)
+				PutTensor(x)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,53 @@
+package tensor
+
+import "fmt"
+
+// Elementwise rectifier kernels. The activation layers in internal/nn are
+// pure elementwise passes over conv-sized tensors, which makes them branchy
+// scalar loops in Go; on amd64 they dispatch to AVX2 max/compare kernels
+// (kernel_amd64.s) instead. NaN inputs gate to zero on both paths, matching
+// the scalar `v > 0` comparison.
+
+// ReluInto writes the positive part of x into dst elementwise: dst[i] =
+// max(x[i], 0). dst and x must have equal sizes; dst may alias x.
+func ReluInto(dst, x *Tensor) *Tensor {
+	if len(dst.Data) != len(x.Data) {
+		panic(fmt.Sprintf("tensor: ReluInto size mismatch %v vs %v", dst.Shape, x.Shape))
+	}
+	reluKernel(dst.Data, x.Data)
+	return dst
+}
+
+// ReluGateInto writes grad gated by y's sign into dst: dst[i] = grad[i]
+// where y[i] > 0, else 0 — the ReLU backward pass. All three tensors must
+// have equal sizes; dst may alias grad.
+func ReluGateInto(dst, y, grad *Tensor) *Tensor {
+	if len(dst.Data) != len(y.Data) || len(dst.Data) != len(grad.Data) {
+		panic(fmt.Sprintf("tensor: ReluGateInto size mismatch %v, %v, %v",
+			dst.Shape, y.Shape, grad.Shape))
+	}
+	reluGateKernel(dst.Data, y.Data, grad.Data)
+	return dst
+}
+
+// reluGo is the portable rectifier loop.
+func reluGo(dst, x []float64) {
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// reluGateGo is the portable gradient gate loop.
+func reluGateGo(dst, y, g []float64) {
+	for i, v := range y {
+		if v > 0 {
+			dst[i] = g[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

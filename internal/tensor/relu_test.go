@@ -1,0 +1,65 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReluIntoMatchesScalar pins the AVX2 rectifier (and its sub-vector
+// remainder handling) to the scalar definition, including NaN and signed
+// zero: both gate to +0.
+func TestReluIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 3, 4, 5, 8, 31, 64, 1000, 1027} {
+		x := New(n)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		if n >= 4 {
+			x.Data[0] = math.NaN()
+			x.Data[1] = math.Copysign(0, -1)
+			x.Data[2] = 0
+			x.Data[3] = math.Inf(1)
+		}
+		got := ReluInto(New(n), x)
+		for i, v := range x.Data {
+			want := 0.0
+			if v > 0 {
+				want = v
+			}
+			g := got.Data[i]
+			if g != want || math.Signbit(g) {
+				t.Fatalf("n=%d: ReluInto(%g)[%d] = %g, want %g", n, v, i, g, want)
+			}
+		}
+	}
+}
+
+// TestReluGateIntoMatchesScalar pins the backward gate kernel: gradient
+// lanes pass exactly where y > 0 and zero elsewhere (NaN y gates closed).
+func TestReluGateIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 4, 7, 32, 999} {
+		y, g := New(n), New(n)
+		for i := range y.Data {
+			y.Data[i] = rng.NormFloat64()
+			g.Data[i] = rng.NormFloat64()
+		}
+		if n >= 2 {
+			y.Data[0] = math.NaN()
+			y.Data[1] = 0
+		}
+		got := ReluGateInto(New(n), y, g)
+		for i := range y.Data {
+			want := 0.0
+			if y.Data[i] > 0 {
+				want = g.Data[i]
+			}
+			if got.Data[i] != want {
+				t.Fatalf("n=%d: gate[%d] = %g, want %g (y=%g g=%g)",
+					n, i, got.Data[i], want, y.Data[i], g.Data[i])
+			}
+		}
+	}
+}

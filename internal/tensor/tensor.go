@@ -22,14 +22,40 @@ type Tensor struct {
 	Data []float64
 }
 
-// New returns a zero-filled tensor with the given shape.
-func New(shape ...int) *Tensor {
+// panicNegDim reports a negative dimension. It deliberately takes only the
+// offending value: formatting the whole shape slice would force every
+// variadic call site of New/GetTensor to heap-allocate its argument.
+func panicNegDim(d int) {
+	panic(fmt.Sprintf("tensor: negative dimension %d in shape", d))
+}
+
+// shapeVolume validates shape and returns its element count.
+func shapeVolume(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panicNegDim(d)
 		}
 		n *= d
+	}
+	return n
+}
+
+// tensorAlloc co-locates a tensor header with inline shape storage so New
+// costs two heap objects (header+shape, data) instead of three.
+type tensorAlloc struct {
+	t    Tensor
+	dims [4]int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := shapeVolume(shape)
+	if len(shape) <= len(tensorAlloc{}.dims) {
+		a := &tensorAlloc{}
+		a.t.Shape = a.dims[:copy(a.dims[:len(shape)], shape)]
+		a.t.Data = make([]float64, n)
+		return &a.t
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
 }
