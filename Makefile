@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz bench benchsmoke check
+.PHONY: build test race vet fuzz chaos chaossmoke bench benchsmoke check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,31 @@ vet:
 race:
 	$(GO) test -race -short -timeout 20m ./...
 
-# A short fuzz burst over the coordinator's byte-budgeted update decode —
-# the path hostile clients reach over the wire. Raise FUZZTIME for a real
-# campaign: make fuzz FUZZTIME=10m
+# chaos runs the crash-injection harness under the race detector: kill the
+# federation mid-run (in-process and over TCP), restart from the durable
+# snapshot, and require bit-identical results — plus the torn-write /
+# bit-flip fallback and graceful-shutdown paths.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'CrashResume|StopResume|CoordinatorRestart|ClientStops|Manager|WriteFileAtomic' \
+		./internal/fl/checkpoint ./internal/fl/transport ./internal/fl/faults
+
+# chaossmoke is the fast no-race subset of the chaos harness that rides in
+# `make check`: one in-process crash/resume bit-identity pass plus the
+# snapshot fallback tests.
+chaossmoke:
+	$(GO) test -count=1 \
+		-run 'CrashResumeBitIdenticalInProcess|ManagerTornWrite|ManagerFallsBack' \
+		./internal/fl/checkpoint
+
+# Short fuzz bursts over the two decoders that parse untrusted bytes: the
+# coordinator's byte-budgeted update decode (the path hostile clients
+# reach over the wire) and the checkpoint container decode (the path a
+# resuming process walks over whatever a crash left on disk). Raise
+# FUZZTIME for a real campaign: make fuzz FUZZTIME=10m
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeUpdate -fuzztime=$(FUZZTIME) ./internal/fl/transport
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/fl/checkpoint
 
 # bench regenerates the tracked perf report against the committed seed
 # baseline. The same workloads run under plain `go test -bench` in
@@ -39,5 +59,5 @@ benchsmoke:
 	$(GO) run ./cmd/cipbench -bench MatMulTransB128 -baseline BENCH_SEED.json >/dev/null
 
 # check is the full CI gate: static analysis, the race-enabled suite, a
-# short fuzz burst, and the bench-harness smoke.
-check: vet race fuzz benchsmoke
+# short fuzz burst, the crash-harness smoke, and the bench-harness smoke.
+check: vet race fuzz chaossmoke benchsmoke

@@ -29,6 +29,9 @@ func run() error {
 	preset := flag.String("preset", "quick", "scale: quick or full")
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeat := flag.Int("repeat", 1, "run each experiment N times and report mean±std")
+	cacheDir := flag.String("cache-dir", "",
+		"persist each completed (experiment, scale, seed) cell here and reuse it on rerun, "+
+			"so an interrupted sweep resumes from the finished cells; empty disables caching")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	benchFilter := flag.String("bench", "",
 		"run tracked perf workloads (substring match, 'all' for every one) and emit a BENCH json report")
@@ -60,6 +63,11 @@ func run() error {
 	}
 	cfg := experiments.Config{Scale: scale, Seed: *seed}
 
+	var store *experiments.Store // nil disables cell caching
+	if *cacheDir != "" {
+		store = &experiments.Store{Dir: *cacheDir}
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -70,9 +78,14 @@ func run() error {
 			t   *experiments.Table
 			err error
 		)
-		if *repeat > 1 {
+		switch {
+		case *repeat > 1 && store != nil:
+			t, err = store.Repeat(id, cfg, *repeat)
+		case *repeat > 1:
 			t, err = experiments.Repeat(id, cfg, *repeat)
-		} else {
+		case store != nil:
+			t, err = store.Run(id, cfg)
+		default:
 			t, err = experiments.Run(id, cfg)
 		}
 		if err != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/experiments"
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
 	"github.com/cip-fl/cip/internal/flcli"
 )
 
@@ -52,6 +54,11 @@ func run() error {
 	out := flag.String("out", "model.gob", "artifact output path")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /debug/vars, and /debug/pprof on this address; empty disables telemetry")
+	ckptPath := flag.String("checkpoint", "",
+		"write durable training snapshots here; empty disables checkpointing")
+	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot cadence in rounds")
+	resume := flag.Bool("resume", false,
+		"resume from the snapshot at -checkpoint (fresh start if none exists)")
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
@@ -73,7 +80,22 @@ func run() error {
 		map[bool]string{true: "CIP", false: "legacy (no defense)"}[*alpha > 0],
 		p, scale, *clients, *rounds, *alpha)
 
-	a, err := experiments.TrainArtifactObserved(p, scale, *seed, *clients, *rounds, *alpha, reg)
+	var spec *experiments.CheckpointSpec
+	if *ckptPath != "" {
+		spec = &experiments.CheckpointSpec{
+			Path:    *ckptPath,
+			Every:   *ckptEvery,
+			Resume:  *resume,
+			Stop:    flcli.ShutdownSignal(),
+			Metrics: checkpoint.NewMetrics(reg),
+		}
+	}
+	a, err := experiments.TrainArtifactDurable(p, scale, *seed, *clients, *rounds, *alpha, reg, spec)
+	if errors.Is(err, fl.ErrStopped) {
+		fmt.Printf("stopped at a round boundary; snapshot saved to %s — rerun with -resume to continue\n",
+			*ckptPath)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -79,8 +80,11 @@ func run() error {
 		Momentum:  0.9,
 		Metrics:   core.NewMetrics(reg),
 	}
-	client := core.NewClient(*id, dual, shard, cfg, core.BlendSeed(*seed, *id),
-		rand.New(rand.NewSource(*seed+int64(100+*id))))
+	// Stateful construction keeps the client resumable: if the server
+	// restarts from a snapshot mid-federation, this client rolls its local
+	// state back to the server's resume round and continues.
+	client := core.NewStatefulClient(*id, dual, shard, cfg, core.BlendSeed(*seed, *id),
+		*seed+int64(100+*id))
 
 	fmt.Printf("client %d/%d joining %s (%d local samples, alpha=%g)\n",
 		*id, *of, *addr, shard.Len(), *alpha)
@@ -88,9 +92,14 @@ func run() error {
 		MaxAttempts: *dialRetries,
 		BaseDelay:   *retryBase,
 		Rng:         rand.New(rand.NewSource(*seed + int64(1000+*id))),
+		Stop:        flcli.ShutdownSignal(),
 		Metrics:     transport.NewMetrics(reg),
 	}
 	if err := transport.RunClientRetry(*addr, client, retry); err != nil {
+		if errors.Is(err, transport.ErrClientStopped) {
+			fmt.Println("stopped")
+			return nil
+		}
 		return err
 	}
 	fmt.Printf("done; local test accuracy with own t: %.3f\n",

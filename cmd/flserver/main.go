@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"github.com/cip-fl/cip/internal/core"
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
 	"github.com/cip-fl/cip/internal/fl/transport"
 	"github.com/cip-fl/cip/internal/flcli"
 	"github.com/cip-fl/cip/internal/nn"
@@ -47,6 +49,13 @@ func run() error {
 		"how long to wait for the full roster before starting with ≥quorum clients; 0 waits forever")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /debug/vars, and /debug/pprof on this address; empty disables telemetry")
+	ckptPath := flag.String("checkpoint", "",
+		"write durable federation snapshots here; empty disables checkpointing")
+	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot cadence in rounds")
+	resume := flag.Bool("resume", false,
+		"resume from the snapshot at -checkpoint (fresh start if none exists)")
+	maxUpdateNorm := flag.Float64("max-update-norm", 0,
+		"reject client updates whose L2 norm exceeds this; 0 disables the bound")
 	flag.Parse()
 
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -68,14 +77,32 @@ func run() error {
 	defer stopTelemetry()
 
 	coord := &transport.Coordinator{
-		NumClients:   *clients,
-		Rounds:       *rounds,
-		Initial:      nn.FlattenParams(dual.Params()),
-		MinQuorum:    *quorum,
-		RoundTimeout: *roundTimeout,
-		AcceptWindow: *acceptWindow,
-		Metrics:      transport.NewMetrics(reg),
-		RoundMetrics: fl.NewMetrics(reg),
+		NumClients:    *clients,
+		Rounds:        *rounds,
+		Initial:       nn.FlattenParams(dual.Params()),
+		MinQuorum:     *quorum,
+		RoundTimeout:  *roundTimeout,
+		AcceptWindow:  *acceptWindow,
+		MaxUpdateNorm: *maxUpdateNorm,
+		Metrics:       transport.NewMetrics(reg),
+		RoundMetrics:  fl.NewMetrics(reg),
+	}
+	if *ckptPath != "" {
+		coord.Checkpoint = &checkpoint.Manager{Path: *ckptPath, Metrics: checkpoint.NewMetrics(reg)}
+		coord.CheckpointEvery = *ckptEvery
+		coord.Stop = flcli.ShutdownSignal()
+		if *resume {
+			snap, err := coord.Checkpoint.Load()
+			switch {
+			case err == nil:
+				coord.Restore = snap
+				fmt.Printf("resuming from %s at round %d\n", *ckptPath, snap.State.NextRound)
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Printf("no snapshot at %s; starting fresh\n", *ckptPath)
+			default:
+				return err
+			}
+		}
 	}
 	if *quorum > 0 {
 		fmt.Printf("waiting for %d clients (quorum %d), %d rounds...\n", *clients, *quorum, *rounds)
@@ -85,6 +112,11 @@ func run() error {
 	global, err := coord.ListenAndRun(*addr, func(a string) {
 		fmt.Printf("listening on %s\n", a)
 	})
+	if errors.Is(err, fl.ErrStopped) {
+		fmt.Printf("stopped at a round boundary; snapshot saved to %s — rerun with -resume to continue\n",
+			*ckptPath)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +11,7 @@ import (
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/rng"
 	"github.com/cip-fl/cip/internal/tensor"
 )
 
@@ -234,6 +237,9 @@ type Client struct {
 	cfg  TrainConfig
 	opt  *nn.SGD
 	rng  *rand.Rand
+	// src is non-nil for clients built with NewStatefulClient: the
+	// serializable source behind rng, required by CaptureState.
+	src *rng.Source
 }
 
 // calibrationFraction of the local data is held out of training and used
@@ -266,6 +272,75 @@ func NewClient(id int, dual *DualChannelModel, data *datasets.Dataset,
 		opt:  &nn.SGD{LR: cfg.LR(0), Momentum: cfg.Momentum},
 		rng:  rng,
 	}
+}
+
+// NewStatefulClient is NewClient for durable federations: the client's RNG
+// runs on a serializable source seeded with rngSeed and the training
+// shard's sample order is tracked, so CaptureState/RestoreState can move
+// the client's exact training position — including the secret perturbation
+// t, which evolves every round but never leaves the client — across
+// process death.
+func NewStatefulClient(id int, dual *DualChannelModel, data *datasets.Dataset,
+	cfg TrainConfig, pertSeed, rngSeed int64) *Client {
+	r, src := rng.New(rngSeed)
+	c := NewClient(id, dual, data, cfg, pertSeed, r)
+	c.src = src
+	c.data.TrackOrder()
+	return c
+}
+
+// cipClientState is the gob layout of a CIP client's captured state.
+type cipClientState struct {
+	T        []float64
+	Order    []int
+	Velocity [][]float64
+	RNG      uint64
+}
+
+// CaptureState implements fl.StatefulClient.
+func (c *Client) CaptureState() ([]byte, error) {
+	if c.src == nil {
+		return nil, fmt.Errorf("core: client %d was not built with NewStatefulClient", c.id)
+	}
+	st := cipClientState{
+		T:        append([]float64(nil), c.pert.T.Data...),
+		Order:    c.data.Order(),
+		Velocity: c.opt.CaptureVelocity(c.m.Params()),
+		RNG:      c.src.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("core: encoding client %d state: %w", c.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements fl.StatefulClient.
+func (c *Client) RestoreState(blob []byte) error {
+	if c.src == nil {
+		return fmt.Errorf("core: client %d was not built with NewStatefulClient", c.id)
+	}
+	var st cipClientState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decoding client %d state: %w", c.id, err)
+	}
+	if len(st.T) != len(c.pert.T.Data) {
+		return fmt.Errorf("core: client %d snapshot has %d perturbation values, want %d",
+			c.id, len(st.T), len(c.pert.T.Data))
+	}
+	// pert.T backs the CIP model's perturbation channel, so this restores
+	// the model's view of t too.
+	copy(c.pert.T.Data, st.T)
+	if st.Order != nil {
+		if err := c.data.ApplyOrder(st.Order); err != nil {
+			return fmt.Errorf("core: client %d: %w", c.id, err)
+		}
+	}
+	if err := c.opt.RestoreVelocity(c.m.Params(), st.Velocity); err != nil {
+		return fmt.Errorf("core: client %d: %w", c.id, err)
+	}
+	c.src.SetState(st.RNG)
+	return nil
 }
 
 func sampleShape(d *datasets.Dataset) []int {
@@ -330,4 +405,7 @@ func (c *Client) TrainLocal(round int, global []float64) (fl.Update, error) {
 	}, nil
 }
 
-var _ fl.Client = (*Client)(nil)
+var (
+	_ fl.Client         = (*Client)(nil)
+	_ fl.StatefulClient = (*Client)(nil)
+)

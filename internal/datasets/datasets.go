@@ -32,6 +32,14 @@ type Dataset struct {
 	NumClasses int
 	// In describes a single sample's shape.
 	In model.Input
+
+	// order, when non-nil, tracks the composed permutation of every
+	// Shuffle relative to the order the dataset had when TrackOrder was
+	// called: order[i] is the pristine index of the sample now at position
+	// i. Checkpointable clients use it to persist their shard's data order
+	// (Shuffle composes in place, so the order at round r depends on every
+	// earlier shuffle).
+	order []int
 }
 
 // Len returns the number of samples.
@@ -89,7 +97,68 @@ func (d *Dataset) Shuffle(rng *rand.Rand) {
 		copy(a, b)
 		copy(b, tmp)
 		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+		if d.order != nil {
+			d.order[i], d.order[j] = d.order[j], d.order[i]
+		}
 	})
+}
+
+// TrackOrder starts recording the dataset's sample order: the current
+// order becomes the pristine reference, and every later Shuffle composes
+// into the tracked permutation.
+func (d *Dataset) TrackOrder() {
+	d.order = make([]int, d.Len())
+	for i := range d.order {
+		d.order[i] = i
+	}
+}
+
+// Order returns a copy of the tracked permutation (nil when TrackOrder was
+// never called): the pristine index of the sample at each position.
+func (d *Dataset) Order() []int {
+	if d.order == nil {
+		return nil
+	}
+	out := make([]int, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// ApplyOrder rearranges the samples so that position i holds the sample
+// that pristine position order[i] held, and adopts order as the tracked
+// permutation. Restoring a checkpointed shard is the intended use: rebuild
+// the shard deterministically (pristine order), TrackOrder, then ApplyOrder
+// with the captured permutation.
+func (d *Dataset) ApplyOrder(order []int) error {
+	if d.order == nil {
+		return fmt.Errorf("datasets: ApplyOrder on an untracked dataset (call TrackOrder first)")
+	}
+	if len(order) != d.Len() {
+		return fmt.Errorf("datasets: ApplyOrder got %d indices for %d samples", len(order), d.Len())
+	}
+	// pos[p] is the current position of pristine sample p.
+	pos := make([]int, d.Len())
+	for i, p := range d.order {
+		if p < 0 || p >= d.Len() {
+			return fmt.Errorf("datasets: tracked order holds invalid index %d", p)
+		}
+		pos[p] = i
+	}
+	idx := make([]int, len(order))
+	seen := make([]bool, d.Len())
+	for i, p := range order {
+		if p < 0 || p >= d.Len() || seen[p] {
+			return fmt.Errorf("datasets: ApplyOrder index %d at position %d is out of range or repeated", p, i)
+		}
+		seen[p] = true
+		idx[i] = pos[p]
+	}
+	re := d.Subset(idx)
+	d.X = re.X
+	d.Y = re.Y
+	d.order = make([]int, len(order))
+	copy(d.order, order)
+	return nil
 }
 
 // Split divides the dataset into a prefix of n samples and the remainder.

@@ -1,0 +1,96 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func orderFixture(t *testing.T) *Dataset {
+	t.Helper()
+	train, _, err := SyntheticImages(ImageConfig{
+		Classes: 2, Train: 12, Test: 4, C: 1, H: 2, W: 2,
+		Signal: 0.5, Noise: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train
+}
+
+func sameSamples(a, b *Dataset) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			return false
+		}
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyOrderRestoresShuffledPosition is the checkpoint/restore story:
+// a shard shuffled N times mid-training is reconstructed pristine after a
+// crash, and ApplyOrder with the captured permutation must put every
+// sample back in its exact pre-crash position.
+func TestApplyOrderRestoresShuffledPosition(t *testing.T) {
+	live := orderFixture(t)
+	live.TrackOrder()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3; i++ {
+		live.Shuffle(rng)
+	}
+	captured := live.Order()
+
+	rebuilt := orderFixture(t) // pristine, as a restarted process would load it
+	rebuilt.TrackOrder()
+	if err := rebuilt.ApplyOrder(captured); err != nil {
+		t.Fatal(err)
+	}
+	if !sameSamples(live, rebuilt) {
+		t.Fatal("ApplyOrder did not reproduce the shuffled sample positions")
+	}
+	// The adopted permutation must keep composing with later shuffles:
+	// both datasets shuffled with the same stream stay in lockstep.
+	r1, r2 := rand.New(rand.NewSource(4)), rand.New(rand.NewSource(4))
+	live.Shuffle(r1)
+	rebuilt.Shuffle(r2)
+	if !sameSamples(live, rebuilt) {
+		t.Fatal("datasets diverged after a post-restore shuffle")
+	}
+}
+
+func TestApplyOrderRejectsBadInput(t *testing.T) {
+	d := orderFixture(t)
+	if err := d.ApplyOrder([]int{0}); err == nil {
+		t.Fatal("ApplyOrder on an untracked dataset succeeded")
+	}
+	d.TrackOrder()
+	if err := d.ApplyOrder([]int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	bad := make([]int, d.Len())
+	for i := range bad {
+		bad[i] = 0 // repeated index
+	}
+	if err := d.ApplyOrder(bad); err == nil {
+		t.Fatal("repeated index accepted")
+	}
+	oob := d.Order()
+	oob[0] = d.Len() // out of range
+	if err := d.ApplyOrder(oob); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestOrderNilWhenUntracked(t *testing.T) {
+	d := orderFixture(t)
+	if d.Order() != nil {
+		t.Fatal("untracked dataset reported an order")
+	}
+}

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"github.com/cip-fl/cip/internal/core"
 	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/nn"
 	"github.com/cip-fl/cip/internal/telemetry"
@@ -32,31 +35,58 @@ type Artifact struct {
 	Params []float64
 }
 
-// Save writes the artifact with gob encoding.
+// maxArtifactBytes bounds how much of an artifact file LoadArtifact will
+// read before giving up; see flcli's matching bound for rationale.
+const maxArtifactBytes = 1 << 30
+
+// Save writes the artifact atomically in the checksummed checkpoint
+// container format, so a crash mid-save can never leave a silently
+// truncated artifact behind.
 func (a *Artifact) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := checkpoint.WriteFile(path, checkpoint.KindArtifact, a); err != nil {
 		return fmt.Errorf("experiments: saving artifact: %w", err)
-	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(a); err != nil {
-		return fmt.Errorf("experiments: encoding artifact: %w", err)
 	}
 	return nil
 }
 
-// LoadArtifact reads an artifact written by Save.
+// LoadArtifact reads an artifact written by Save. Containerized files are
+// validated (magic, kind, length, checksum) before decoding; files from
+// before the container format fall back to a raw, byte-bounded gob decode.
 func LoadArtifact(path string) (*Artifact, error) {
+	var a Artifact
+	err := checkpoint.ReadFile(path, checkpoint.KindArtifact, maxArtifactBytes, &a)
+	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
+		return loadArtifactLegacy(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: loading artifact: %w", err)
+	}
+	return &a, nil
+}
+
+func loadArtifactLegacy(path string) (*Artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: loading artifact: %w", err)
 	}
 	defer f.Close()
 	var a Artifact
-	if err := gob.NewDecoder(f).Decode(&a); err != nil {
-		return nil, fmt.Errorf("experiments: decoding artifact: %w", err)
+	if err := decodeBoundedGob(f, &a); err != nil {
+		return nil, fmt.Errorf("experiments: decoding artifact %s: %w", path, err)
 	}
 	return &a, nil
+}
+
+// decodeBoundedGob gob-decodes one value reading at most maxArtifactBytes,
+// converting decoder panics into errors so legacy (unchecksummed) files
+// degrade cleanly.
+func decodeBoundedGob(r io.Reader, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("decode panicked: %v", p)
+		}
+	}()
+	return gob.NewDecoder(io.LimitReader(r, maxArtifactBytes)).Decode(v)
 }
 
 // Data reloads the dataset the artifact was trained on (generation is

@@ -45,6 +45,10 @@ type legacyOpts struct {
 	// build overrides the default classifier factory (HDP's frozen-feature
 	// model plugs in here). It must be deterministic.
 	build func() nn.Layer
+	// ckpt, when non-nil, makes the run durable: clients are built
+	// stateful (serializable RNGs, tracked data order) and the server
+	// snapshots/resumes through it.
+	ckpt *CheckpointSpec
 }
 
 // runLegacy trains a FedAvg federation of plain classifiers (optionally
@@ -81,13 +85,20 @@ func runLegacy(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 		if opts.stepFor != nil {
 			step = opts.stepFor(i)
 		}
-		lc := fl.NewLegacyClient(i, net, shards[i], fl.ClientConfig{
+		cfg := fl.ClientConfig{
 			BatchSize:   h.batch,
 			LocalEpochs: localEpochs,
 			LR:          fl.DecaySchedule(h.lr, rounds),
 			Momentum:    h.momentum,
 			Augment:     opts.augment,
-		}, step, rand.New(rand.NewSource(seed+int64(10+i))))
+		}
+		var lc *fl.LegacyClient
+		if opts.ckpt != nil {
+			lc = fl.NewStatefulLegacyClient(i, net, shards[i], cfg, step, seed+int64(10+i))
+		} else {
+			lc = fl.NewLegacyClient(i, net, shards[i], cfg, step,
+				rand.New(rand.NewSource(seed+int64(10+i))))
+		}
 		clients[i] = lc
 		legacy[i] = lc
 	}
@@ -97,7 +108,7 @@ func runLegacy(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter
-	if err := srv.Run(rounds); err != nil {
+	if err := runServer(srv, rounds, opts.ckpt); err != nil {
 		return nil, fmt.Errorf("experiments: legacy federation: %w", err)
 	}
 	return &legacyRun{Global: srv.Global(), Recorder: rec, Shards: shards,
@@ -142,6 +153,8 @@ type cipOpts struct {
 	telemetry        *telemetry.Registry // nil disables metrics
 	// lambdaM overrides the Eq. 4 weight (0 keeps the regime default).
 	lambdaM float64
+	// ckpt, when non-nil, makes the run durable (see legacyOpts.ckpt).
+	ckpt *CheckpointSpec
 }
 
 // cipTrainConfig is the CIP hyperparameter set the experiments use: the
@@ -189,8 +202,14 @@ func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 		if initial == nil {
 			initial = nn.FlattenParams(dual.Params())
 		}
-		c := core.NewClient(i, dual, shards[i], tc, core.BlendSeed(seed, i),
-			rand.New(rand.NewSource(seed+int64(20+i))))
+		var c *core.Client
+		if opts.ckpt != nil {
+			c = core.NewStatefulClient(i, dual, shards[i], tc, core.BlendSeed(seed, i),
+				seed+int64(20+i))
+		} else {
+			c = core.NewClient(i, dual, shards[i], tc, core.BlendSeed(seed, i),
+				rand.New(rand.NewSource(seed+int64(20+i))))
+		}
 		clients[i] = c
 		cips[i] = c
 	}
@@ -200,7 +219,7 @@ func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter
-	if err := srv.Run(rounds); err != nil {
+	if err := runServer(srv, rounds, opts.ckpt); err != nil {
 		return nil, fmt.Errorf("experiments: CIP federation: %w", err)
 	}
 	return &cipRun{Global: srv.Global(), Recorder: rec, Shards: shards,

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
+)
+
+// Store persists completed experiment grid cells — one rendered Table per
+// (experiment id, scale, seed) — in the checksummed checkpoint container
+// format, so a multi-hour sweep killed partway through does not redo
+// finished cells on the next run. A nil *Store disables caching; corrupt
+// or unreadable cells are treated as missing and recomputed.
+type Store struct {
+	// Dir is the cache directory; it is created on first Save.
+	Dir string
+}
+
+// cellPath names the cache file for one grid cell.
+func (s *Store) cellPath(id string, cfg Config) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s_scale%d_seed%d.cell", id, cfg.Scale, cfg.Seed))
+}
+
+// Load returns the cached table for a cell, with ok reporting whether a
+// valid one exists.
+func (s *Store) Load(id string, cfg Config) (t *Table, ok bool) {
+	if s == nil {
+		return nil, false
+	}
+	var tab Table
+	if err := checkpoint.ReadFile(s.cellPath(id, cfg), checkpoint.KindTable,
+		checkpoint.DefaultMaxBytes, &tab); err != nil {
+		return nil, false
+	}
+	return &tab, true
+}
+
+// Save persists a completed cell atomically.
+func (s *Store) Save(id string, cfg Config, t *Table) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating cell store: %w", err)
+	}
+	if err := checkpoint.WriteFile(s.cellPath(id, cfg), checkpoint.KindTable, t); err != nil {
+		return fmt.Errorf("experiments: saving cell %s: %w", s.cellPath(id, cfg), err)
+	}
+	return nil
+}
+
+// Runner wraps r with cell caching: a hit returns the stored table, a miss
+// runs r and persists the result before returning it.
+func (s *Store) Runner(id string, r Runner) Runner {
+	if s == nil {
+		return r
+	}
+	return func(cfg Config) (*Table, error) {
+		if t, ok := s.Load(id, cfg); ok {
+			return t, nil
+		}
+		t, err := r(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Save(id, cfg, t); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+}
+
+// Run executes one registered experiment through the cache.
+func (s *Store) Run(id string, cfg Config) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return s.Runner(id, r)(cfg)
+}
+
+// Repeat is Repeat with per-seed cell caching: each seed's table persists
+// as its own grid cell, so an interrupted multi-seed sweep resumes from
+// the completed seeds.
+func (s *Store) Repeat(id string, cfg Config, n int) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return RepeatRunner(id, s.Runner(id, r), cfg, n)
+}

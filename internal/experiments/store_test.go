@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl/faults"
+)
+
+func TestStoreCachesCompletedCells(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	runs := 0
+	r := s.Runner("probe", func(cfg Config) (*Table, error) {
+		runs++
+		tab := &Table{ID: "probe", Title: "probe", Header: []string{"seed"}}
+		tab.AddRow("42")
+		return tab, nil
+	})
+	cfg := Config{Scale: datasets.Quick, Seed: 42}
+
+	first, err := r(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("runner executed %d times, want 1 (second call must hit the cell cache)", runs)
+	}
+	if second.Rows[0][0] != first.Rows[0][0] {
+		t.Fatalf("cached cell %v differs from computed %v", second.Rows, first.Rows)
+	}
+
+	// A different seed is a different grid cell.
+	if _, err := r(Config{Scale: datasets.Quick, Seed: 43}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("runner executed %d times, want 2 (new seed must miss)", runs)
+	}
+}
+
+func TestStoreTreatsCorruptCellAsMiss(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	runs := 0
+	r := s.Runner("probe", func(cfg Config) (*Table, error) {
+		runs++
+		return &Table{ID: "probe"}, nil
+	})
+	cfg := Config{Scale: datasets.Quick, Seed: 1}
+	if _, err := r(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Bit rot in the cached cell: the checksum catches it and the cell is
+	// recomputed rather than served mangled.
+	if err := faults.CorruptFile(s.cellPath("probe", cfg), 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("runner executed %d times, want 2 (corrupt cell must read as a miss)", runs)
+	}
+}
+
+func TestStoreNilDisablesCaching(t *testing.T) {
+	var s *Store
+	runs := 0
+	r := s.Runner("probe", func(cfg Config) (*Table, error) {
+		runs++
+		return &Table{ID: "probe"}, nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := r(Quick()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("nil store executed runner %d times, want 2 (no caching)", runs)
+	}
+	if _, ok := s.Load("probe", Quick()); ok {
+		t.Fatal("nil store reported a cache hit")
+	}
+}
+
+func TestStorePropagatesRunnerError(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	boom := errors.New("boom")
+	r := s.Runner("probe", func(cfg Config) (*Table, error) { return nil, boom })
+	if _, err := r(Quick()); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the runner's error", err)
+	}
+	// A failed run must not leave a cell behind.
+	if _, ok := s.Load("probe", Quick()); ok {
+		t.Fatal("failed run cached a cell")
+	}
+}

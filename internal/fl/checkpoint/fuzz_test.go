@@ -1,0 +1,51 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+// FuzzDecodeSnapshot drives the snapshot decoder with arbitrary bytes —
+// the exact path a resuming process walks over whatever it finds on disk
+// after a crash. The invariant: truncated, bit-flipped, oversized, or
+// plain hostile input may only ever produce an error, never a panic and
+// never a silently wrong snapshot (wrong payloads are caught by the CRC
+// before the gob decoder sees them).
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid, err := Encode(KindSnapshot, &Snapshot{
+		Token: "cafe",
+		State: fl.ServerState{
+			NextRound: 3,
+			Global:    []float64{1, 2, 3},
+			Clients:   map[int][]byte{0: {9, 9}},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])              // torn write
+	f.Add(valid[:headerSize])                // header only
+	f.Add([]byte{})                          // empty file
+	f.Add([]byte("CIPCKPT1"))                // bare magic
+	f.Add([]byte("not a checkpoint at all")) // foreign file
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x10
+	f.Add(flipped) // bit rot in the payload
+	oversize := append([]byte(nil), valid...)
+	oversize[20] = 0xff // claim a multi-exabyte payload
+	f.Add(oversize)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap Snapshot
+		if err := DecodeBytes(data, KindSnapshot, 1<<20, &snap); err != nil {
+			return // any error is fine; a panic would fail the fuzzer
+		}
+		// Re-encoding a successfully decoded snapshot must succeed: decode
+		// never hands back a value the rest of the system cannot persist.
+		if _, err := Encode(KindSnapshot, &snap); err != nil {
+			t.Fatalf("decoded snapshot cannot be re-encoded: %v", err)
+		}
+	})
+}

@@ -1,11 +1,14 @@
 package fl
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/nn"
+	"github.com/cip-fl/cip/internal/rng"
 	"github.com/cip-fl/cip/internal/tensor"
 )
 
@@ -90,6 +93,9 @@ type LegacyClient struct {
 	step TrainStep
 	opt  *nn.SGD
 	rng  *rand.Rand
+	// src is non-nil for clients built with NewStatefulLegacyClient: the
+	// serializable source behind rng, required by CaptureState.
+	src *rng.Source
 }
 
 // NewLegacyClient constructs a client. step may be nil for plain training.
@@ -108,6 +114,66 @@ func NewLegacyClient(id int, net nn.Layer, data *datasets.Dataset, cfg ClientCon
 		opt:  &nn.SGD{LR: cfg.LR(0), Momentum: cfg.Momentum},
 		rng:  rng,
 	}
+}
+
+// NewStatefulLegacyClient is NewLegacyClient for durable federations: the
+// client's RNG runs on a serializable source seeded with rngSeed and its
+// shard's sample order is tracked, so CaptureState/RestoreState can move
+// the client's exact training position across process death. The plain
+// TrainStep is stateless; custom steps with hidden state (e.g. DP-SGD's
+// noise RNG) are not captured.
+func NewStatefulLegacyClient(id int, net nn.Layer, data *datasets.Dataset, cfg ClientConfig,
+	step TrainStep, rngSeed int64) *LegacyClient {
+	r, src := rng.New(rngSeed)
+	c := NewLegacyClient(id, net, data, cfg, step, r)
+	c.src = src
+	c.data.TrackOrder()
+	return c
+}
+
+// legacyClientState is the gob layout of a LegacyClient's captured state.
+type legacyClientState struct {
+	Order    []int
+	Velocity [][]float64
+	RNG      uint64
+}
+
+// CaptureState implements StatefulClient.
+func (c *LegacyClient) CaptureState() ([]byte, error) {
+	if c.src == nil {
+		return nil, fmt.Errorf("fl: client %d was not built with NewStatefulLegacyClient", c.id)
+	}
+	st := legacyClientState{
+		Order:    c.data.Order(),
+		Velocity: c.opt.CaptureVelocity(c.net.Params()),
+		RNG:      c.src.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("fl: encoding client %d state: %w", c.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements StatefulClient.
+func (c *LegacyClient) RestoreState(blob []byte) error {
+	if c.src == nil {
+		return fmt.Errorf("fl: client %d was not built with NewStatefulLegacyClient", c.id)
+	}
+	var st legacyClientState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("fl: decoding client %d state: %w", c.id, err)
+	}
+	if st.Order != nil {
+		if err := c.data.ApplyOrder(st.Order); err != nil {
+			return fmt.Errorf("fl: client %d: %w", c.id, err)
+		}
+	}
+	if err := c.opt.RestoreVelocity(c.net.Params(), st.Velocity); err != nil {
+		return fmt.Errorf("fl: client %d: %w", c.id, err)
+	}
+	c.src.SetState(st.RNG)
+	return nil
 }
 
 // ID implements Client.

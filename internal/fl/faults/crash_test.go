@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCrashAtFiresOnlyAtItsRound(t *testing.T) {
+	hook := CrashAt(3)
+	for round := 0; round < 3; round++ {
+		if err := hook(round); err != nil {
+			t.Fatalf("round %d: unexpected crash %v", round, err)
+		}
+	}
+	if err := hook(3); !errors.Is(err, ErrCrash) {
+		t.Fatalf("round 3: got %v, want ErrCrash", err)
+	}
+}
+
+func TestTruncatedClampsAndCuts(t *testing.T) {
+	data := []byte("0123456789")
+	if got := Truncated(0.6)(data); len(got) != 6 {
+		t.Fatalf("Truncated(0.6) kept %d bytes, want 6", len(got))
+	}
+	if got := Truncated(-1)(data); len(got) != 0 {
+		t.Fatalf("Truncated(-1) kept %d bytes, want 0", len(got))
+	}
+	if got := Truncated(7)(data); len(got) != len(data) {
+		t.Fatalf("Truncated(7) kept %d bytes, want all %d", len(got), len(data))
+	}
+}
+
+func TestBitFlipFlipsExactlyOneBitWithoutAliasing(t *testing.T) {
+	data := []byte{0, 0, 0, 0}
+	out := BitFlip(-2)(data)
+	if bytes.Equal(out, data) {
+		t.Fatal("BitFlip changed nothing")
+	}
+	if !bytes.Equal(data, []byte{0, 0, 0, 0}) {
+		t.Fatal("BitFlip mutated its input")
+	}
+	if out[2] != 0x40 {
+		t.Fatalf("negative offset -2 should land on byte 2, got %v", out)
+	}
+	if got := BitFlip(0)(nil); len(got) != 0 {
+		t.Fatalf("BitFlip on empty input returned %v", got)
+	}
+}
+
+func TestCorruptFileFlipsOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{1, 2 ^ 0x40, 3}) {
+		t.Fatalf("corrupted file reads %v", data)
+	}
+	if err := CorruptFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("CorruptFile on a missing path succeeded")
+	}
+}

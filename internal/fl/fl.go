@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"github.com/cip-fl/cip/internal/rng"
 )
 
 // Update is what a client returns from one round of local training.
@@ -63,6 +65,10 @@ type Server struct {
 	// trains everyone. SampleRng drives the selection (nil seeds from 0).
 	SampleFraction float64
 	SampleRng      *rand.Rand
+	// SamplerSrc, when set (and SampleRng is nil), drives client sampling
+	// through a serializable source so CaptureState can checkpoint the
+	// sampler's exact position (required for durable runs that sample).
+	SamplerSrc *rng.Source
 	// Policy, when non-nil, enables fault-tolerant rounds: failing or
 	// invalid clients are dropped and the round aggregates over the
 	// surviving quorum. Nil keeps fail-stop semantics.
@@ -79,6 +85,12 @@ type Server struct {
 	Workers int
 
 	global []float64
+	// round is the next round index to run; Run loops it up to its total,
+	// so a server restored from a checkpoint continues where it left off.
+	round int
+	// failCounts accumulates per-client failures across rounds under a
+	// RoundPolicy; it is part of the durable state (ServerState).
+	failCounts map[int]int
 }
 
 // NewServer creates a server with the given initial global parameters.
@@ -104,7 +116,11 @@ func (s *Server) RunRound(round int) error {
 	start := time.Now()
 	participants := s.sampleClients()
 	if s.Policy != nil {
-		return s.runRoundQuorum(round, start, participants)
+		if err := s.runRoundQuorum(round, start, participants); err != nil {
+			return err
+		}
+		s.round = round + 1
+		return nil
 	}
 	outcomes, workers, busy := s.trainParticipants(round, participants)
 	updates := make([]Update, len(participants))
@@ -127,6 +143,7 @@ func (s *Server) RunRound(round int) error {
 		return fmt.Errorf("fl: round %d: %w", round, err)
 	}
 	s.global = agg
+	s.round = round + 1
 	s.Metrics.RecordRound(start, len(updates), 0, len(agg))
 	s.Metrics.RecordWorkerPool(workers, busy, time.Since(start))
 	return nil
@@ -143,7 +160,11 @@ func (s *Server) sampleClients() []Client {
 		n = 1
 	}
 	if s.SampleRng == nil {
-		s.SampleRng = rand.New(rand.NewSource(0))
+		if s.SamplerSrc != nil {
+			s.SampleRng = rand.New(s.SamplerSrc)
+		} else {
+			s.SampleRng = rand.New(rand.NewSource(0))
+		}
 	}
 	perm := s.SampleRng.Perm(len(s.Clients))[:n]
 	// Keep deterministic ordering so observers can index stably.
@@ -159,10 +180,12 @@ func (s *Server) sampleClients() []Client {
 	return out
 }
 
-// Run executes rounds communication rounds.
+// Run executes communication rounds until the server has completed rounds
+// of them in total. A freshly constructed server runs rounds 0..rounds-1;
+// a server restored from a checkpoint continues from its restored round.
 func (s *Server) Run(rounds int) error {
-	for r := 0; r < rounds; r++ {
-		if err := s.RunRound(r); err != nil {
+	for s.round < rounds {
+		if err := s.RunRound(s.round); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,71 @@
+package fl
+
+import (
+	"testing"
+
+	"github.com/cip-fl/cip/internal/telemetry"
+)
+
+// loudClient returns an update whose L2 norm is scale, regardless of the
+// broadcast parameters — an outlier a norm bound should drop.
+type loudClient struct {
+	id     int
+	scale  float64
+	rounds int
+}
+
+func (c *loudClient) ID() int         { return c.id }
+func (c *loudClient) NumSamples() int { return 10 }
+func (c *loudClient) TrainLocal(_ int, global []float64) (Update, error) {
+	c.rounds++
+	p := make([]float64, len(global))
+	p[0] = c.scale
+	return Update{Params: p, NumSamples: 10, TrainLoss: 1}, nil
+}
+
+func TestValidateUpdateBounded(t *testing.T) {
+	u := Update{ClientID: 1, Params: []float64{3, 4}, NumSamples: 1} // norm 5
+	if err := ValidateUpdateBounded(u, 2, 0); err != nil {
+		t.Fatalf("disabled bound rejected a finite update: %v", err)
+	}
+	if err := ValidateUpdateBounded(u, 2, 5.0001); err != nil {
+		t.Fatalf("norm 5 rejected under bound 5.0001: %v", err)
+	}
+	if err := ValidateUpdateBounded(u, 2, 4.9); err == nil {
+		t.Fatal("norm 5 accepted under bound 4.9")
+	}
+	if err := ValidateUpdateBounded(u, 3, 100); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRoundPolicyMaxUpdateNormDropsOutlier(t *testing.T) {
+	const rounds = 3
+	quiet := []*countingClient{{id: 0, dim: 2}, {id: 1, dim: 2}, {id: 2, dim: 2}}
+	loud := &loudClient{id: 3, scale: 1e6}
+	clients := []Client{quiet[0], quiet[1], quiet[2], loud}
+
+	reg := telemetry.NewRegistry()
+	srv := NewServer([]float64{1, 2}, clients...)
+	srv.Policy = &RoundPolicy{MinQuorum: 3, MaxUpdateNorm: 100}
+	srv.Metrics = NewMetrics(reg)
+	if err := srv.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	// The outlier trained every round (the bound judges its output, not
+	// its participation) but never entered an aggregate.
+	if loud.rounds != rounds {
+		t.Fatalf("outlier trained %d rounds, want %d", loud.rounds, rounds)
+	}
+	if got := srv.FailureCounts()[loud.id]; got != rounds {
+		t.Fatalf("outlier failure count %d, want %d", got, rounds)
+	}
+	if got := srv.Metrics.ValidationRejections.Value(); got != rounds {
+		t.Fatalf("fl_validation_rejections_total = %d, want %d", got, rounds)
+	}
+	// quiet clients echo the global back, so the global must be unchanged;
+	// had the outlier's update been averaged in, global[0] would be huge.
+	if g := srv.Global(); g[0] != 1 || g[1] != 2 {
+		t.Fatalf("global drifted to %v — the outlier leaked into aggregation", g)
+	}
+}

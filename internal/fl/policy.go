@@ -50,6 +50,12 @@ type RoundPolicy struct {
 	// failures are tolerated even if the quorum is still met. 0 means no
 	// cap beyond the quorum check.
 	MaxFailures int
+	// MaxUpdateNorm, when > 0, drops updates whose parameter-vector L2
+	// norm exceeds it as FailInvalid. Exploding or poisoned updates can
+	// pass the NaN/Inf check with finite but enormous values; a norm bound
+	// stops them from dominating the FedAvg aggregate. 0 disables the
+	// bound.
+	MaxUpdateNorm float64
 }
 
 func (p *RoundPolicy) quorum() int {
@@ -86,6 +92,32 @@ func ValidateUpdate(u Update, wantLen int) error {
 	return nil
 }
 
+// UpdateNorm returns the L2 norm of an update's parameter vector.
+func UpdateNorm(u Update) float64 {
+	var ss float64
+	for _, v := range u.Params {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// ValidateUpdateBounded is ValidateUpdate plus an optional L2 norm bound
+// (maxNorm ≤ 0 disables it). Both the in-process engine (through
+// RoundPolicy.MaxUpdateNorm) and the TCP transport (through
+// Coordinator.MaxUpdateNorm) run updates through this check.
+func ValidateUpdateBounded(u Update, wantLen int, maxNorm float64) error {
+	if err := ValidateUpdate(u, wantLen); err != nil {
+		return err
+	}
+	if maxNorm > 0 {
+		if n := UpdateNorm(u); n > maxNorm {
+			return fmt.Errorf("fl: client %d update L2 norm %.4g exceeds bound %.4g",
+				u.ClientID, n, maxNorm)
+		}
+	}
+	return nil
+}
+
 // runRoundQuorum is RunRound under a RoundPolicy: train every participant,
 // drop failures and invalid updates, and aggregate over the surviving
 // quorum.
@@ -104,7 +136,7 @@ func (s *Server) runRoundQuorum(round int, start time.Time, participants []Clien
 			continue
 		}
 		u := outcomes[i].update
-		if err := ValidateUpdate(u, len(s.global)); err != nil {
+		if err := ValidateUpdateBounded(u, len(s.global), s.Policy.MaxUpdateNorm); err != nil {
 			s.Metrics.RecordValidationRejection()
 			failures = append(failures, ClientFailure{
 				ClientID: c.ID(), Round: round, Reason: FailInvalid, Err: err,
@@ -112,6 +144,14 @@ func (s *Server) runRoundQuorum(round int, start time.Time, participants []Clien
 			continue
 		}
 		valid = append(valid, u)
+	}
+	if len(failures) > 0 {
+		if s.failCounts == nil {
+			s.failCounts = make(map[int]int)
+		}
+		for _, f := range failures {
+			s.failCounts[f.ClientID]++
+		}
 	}
 	if cap := s.Policy.MaxFailures; cap > 0 && len(failures) > cap {
 		return fmt.Errorf("fl: round %d: %d client failures exceed cap %d",

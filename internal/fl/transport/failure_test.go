@@ -34,8 +34,12 @@ func TestCoordinatorClientDisconnect(t *testing.T) {
 	if err := enc.Encode(hello{ID: 0, NumSamples: 5}); err != nil {
 		t.Fatal(err)
 	}
-	// Read the first round message, then drop the connection.
+	// Read the welcome and first round message, then drop the connection.
 	dec := gob.NewDecoder(conn)
+	var w welcome
+	if err := dec.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
 	var rm roundMsg
 	if err := dec.Decode(&rm); err != nil {
 		t.Fatal(err)

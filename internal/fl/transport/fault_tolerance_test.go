@@ -199,6 +199,10 @@ func TestCoordinatorBoundsUpdateSize(t *testing.T) {
 	if err := enc.Encode(hello{ID: 0, NumSamples: 5}); err != nil {
 		t.Fatal(err)
 	}
+	var w welcome
+	if err := dec.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
 	var rm roundMsg
 	if err := dec.Decode(&rm); err != nil {
 		t.Fatal(err)

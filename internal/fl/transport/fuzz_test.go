@@ -60,7 +60,7 @@ func FuzzDecodeUpdate(f *testing.F) {
 		}
 		lim := &budgetReader{r: bytes.NewReader(data)}
 		dec := gob.NewDecoder(lim)
-		u, err := decodeUpdate(dec, lim, budget, 7, wantLen)
+		u, err := decodeUpdate(dec, lim, budget, 7, wantLen, 0)
 		if err != nil {
 			return // any error is acceptable; panics are not
 		}
@@ -82,7 +82,7 @@ func TestDecodeUpdateSeedCorpus(t *testing.T) {
 	const wantLen = 4
 	decode := func(data []byte, budget int64) (fl.Update, error) {
 		lim := &budgetReader{r: bytes.NewReader(data)}
-		return decodeUpdate(gob.NewDecoder(lim), lim, budget, 7, wantLen)
+		return decodeUpdate(gob.NewDecoder(lim), lim, budget, 7, wantLen, 0)
 	}
 
 	valid := encodeUpdate(t, fl.Update{Params: []float64{0.1, -0.2, 0.3, 0.4}, NumSamples: 10})

@@ -24,6 +24,9 @@ type Metrics struct {
 	// StragglersDropped counts clients dropped for missing the round
 	// deadline.
 	StragglersDropped *telemetry.Counter // transport_stragglers_dropped_total
+	// Rejoins counts clients readmitted into a resumed federation with a
+	// valid session token after a coordinator restart.
+	Rejoins *telemetry.Counter // transport_rejoins_total
 }
 
 // NewMetrics registers the transport metrics on reg. A nil reg returns
@@ -43,7 +46,16 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Client dial/handshake retries beyond the first attempt."),
 		StragglersDropped: reg.Counter("transport_stragglers_dropped_total",
 			"Clients dropped for missing the round deadline."),
+		Rejoins: reg.Counter("transport_rejoins_total",
+			"Clients readmitted with a session token after a coordinator restart."),
 	}
+}
+
+func (m *Metrics) rejoin() {
+	if m == nil {
+		return
+	}
+	m.Rejoins.Inc()
 }
 
 func (m *Metrics) connAccepted() {

@@ -6,11 +6,23 @@
 //
 // Protocol (synchronous, one gob stream per client):
 //
-//	client → server: hello{ID, NumSamples}
+//	client → server: hello{ID, NumSamples, Token}
+//	server → client: welcome{Token, NextRound, Resumed}
 //	repeat for each round:
-//	    server → client: roundMsg{Round, Params}
+//	    server → client: roundMsg{Round, Params, Durable}
 //	    client → server: updateMsg{Update}
 //	server → client: roundMsg{Done: true}
+//
+// Restart recovery. A coordinator given a checkpoint.Manager mints a
+// session token, writes durable snapshots at the configured cadence, and
+// announces the last durable round in every round message. Clients retain
+// an in-memory capture of their local state for every round the server has
+// not yet made durable. When the coordinator process dies and restarts
+// from its snapshot, reconnecting clients present the session token, learn
+// the resume round from the welcome, roll their local state back to the
+// matching capture, and the federation continues bit-identically to an
+// uninterrupted run. RunClientRetry rides out the outage with its existing
+// backoff.
 //
 // Fault tolerance. With MinQuorum left at zero the coordinator is
 // fail-stop: the first client error aborts the federation (the legacy
@@ -26,7 +38,9 @@
 package transport
 
 import (
+	crand "crypto/rand"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -37,18 +51,40 @@ import (
 	"time"
 
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
 	"github.com/cip-fl/cip/internal/telemetry"
 )
 
 type hello struct {
 	ID         int
 	NumSamples int
+	// Token is the session token from a previous connection; empty on a
+	// client's first contact. A coordinator resumed from a snapshot uses it
+	// to recognize returning participants.
+	Token string
+}
+
+// welcome is the coordinator's response to a valid hello.
+type welcome struct {
+	// Token identifies this federation session across coordinator
+	// restarts; empty when the coordinator is not checkpointing.
+	Token string
+	// NextRound is the first round the coordinator will run with this
+	// client — 0 on a fresh federation, the resume round after a restart.
+	NextRound int
+	// Resumed reports whether the coordinator restored from a snapshot.
+	Resumed bool
 }
 
 type roundMsg struct {
 	Round  int
 	Params []float64
 	Done   bool
+	// Durable is the highest round index covered by a durable snapshot
+	// (-1 when nothing is durable yet). Clients may discard rollback
+	// captures for rounds at or below it, keeping only what a restarted
+	// coordinator could still rewind to.
+	Durable int
 }
 
 type updateMsg struct {
@@ -119,9 +155,34 @@ type Coordinator struct {
 	// MaxUpdateBytes bounds the gob-encoded size of one client update; 0
 	// derives a generous bound from len(Initial).
 	MaxUpdateBytes int64
+	// MaxUpdateNorm, when > 0, rejects updates whose L2 norm exceeds it
+	// (counted as validation rejections). 0 disables the bound.
+	MaxUpdateNorm float64
+
+	// Checkpoint, when non-nil, makes the federation durable: a snapshot
+	// of the coordinator state is written through it at the
+	// CheckpointEvery cadence (and on Stop), and round messages announce
+	// which rounds are durable so clients can bound their rollback
+	// captures.
+	Checkpoint *checkpoint.Manager
+	// CheckpointEvery is the snapshot cadence in rounds (≤ 1 means every
+	// round). The final round always snapshots.
+	CheckpointEvery int
+	// Restore, when non-nil, resumes the federation from a snapshot
+	// (typically Checkpoint.Load()): the global parameters, round index,
+	// failure counters, and session token all continue from it.
+	Restore *checkpoint.Snapshot
+	// Stop, when signaled (closed), ends the run at the next round
+	// boundary: a final snapshot is written (when checkpointing) and
+	// ListenAndRun returns fl.ErrStopped.
+	Stop <-chan struct{}
+	// AfterRound, when non-nil, runs after each completed round and its
+	// checkpoint write; an error aborts the run immediately (the
+	// crash-injection harness simulates coordinator death through it).
+	AfterRound func(round int) error
 
 	// Metrics, when non-nil, receives wire-layer telemetry (accepted
-	// conns, decode bytes/failures, straggler drops).
+	// conns, decode bytes/failures, straggler drops, rejoins).
 	Metrics *Metrics
 	// RoundMetrics, when non-nil, receives the same per-round telemetry
 	// the in-process engine records (round duration, participating and
@@ -164,14 +225,14 @@ type clientConn struct {
 // never panic on hostile bytes — only return an error (fuzzed by
 // FuzzDecodeUpdate).
 func decodeUpdate(dec *gob.Decoder, lim *budgetReader, budget int64,
-	clientID, wantLen int) (fl.Update, error) {
+	clientID, wantLen int, maxNorm float64) (fl.Update, error) {
 	lim.allow(budget)
 	var um updateMsg
 	if err := dec.Decode(&um); err != nil {
 		return fl.Update{}, err
 	}
 	um.U.ClientID = clientID
-	if err := fl.ValidateUpdate(um.U, wantLen); err != nil {
+	if err := fl.ValidateUpdateBounded(um.U, wantLen, maxNorm); err != nil {
 		return fl.Update{}, errInvalid{err}
 	}
 	return um.U, nil
@@ -180,16 +241,16 @@ func decodeUpdate(dec *gob.Decoder, lim *budgetReader, budget int64,
 // exchange runs one round against one client: send the globals, wait for
 // the update, validate it. RoundTimeout (when set) covers the whole
 // exchange through connection deadlines.
-func (cc *clientConn) exchange(round int, global []float64, timeout time.Duration,
-	budget int64, met *Metrics, out *fl.Update) error {
+func (cc *clientConn) exchange(round, durable int, global []float64, timeout time.Duration,
+	budget int64, maxNorm float64, met *Metrics, out *fl.Update) error {
 	if timeout > 0 {
 		cc.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
 		defer cc.conn.SetDeadline(time.Time{})       //nolint:errcheck
 	}
-	if err := cc.enc.Encode(roundMsg{Round: round, Params: global}); err != nil {
+	if err := cc.enc.Encode(roundMsg{Round: round, Params: global, Durable: durable}); err != nil {
 		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
 	}
-	u, err := decodeUpdate(cc.dec, cc.lim, budget, cc.id, len(global))
+	u, err := decodeUpdate(cc.dec, cc.lim, budget, cc.id, len(global), maxNorm)
 	if err != nil {
 		if !errors.As(err, &errInvalid{}) {
 			met.decodeFailure()
@@ -218,10 +279,11 @@ func failureReason(err error) fl.FailureReason {
 	return fl.FailTransport
 }
 
-// acceptClients collects the initial roster. Any connection accepted
-// before an error is closed before returning, so a bad hello from client n
-// does not leak clients 1..n-1.
-func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err error) {
+// acceptClients collects the initial roster, answering each valid hello
+// with a welcome carrying the session token and resume round. Any
+// connection accepted before an error is closed before returning, so a bad
+// hello from client n does not leak clients 1..n-1.
+func (c *Coordinator) acceptClients(ln net.Listener, w welcome) (conns []*clientConn, err error) {
 	defer func() {
 		if err != nil {
 			for _, cc := range conns {
@@ -277,6 +339,25 @@ func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err e
 			}
 			return conns, fmt.Errorf("transport: duplicate client id %d", h.ID)
 		}
+		if h.Token != "" && h.Token != w.Token {
+			// A client from some other (or stale) session; admitting it
+			// would silently break resume bit-identity.
+			conn.Close()
+			if c.faultTolerant() {
+				continue
+			}
+			return conns, fmt.Errorf("transport: client %d presented an unknown session token", h.ID)
+		}
+		if err := cc.enc.Encode(w); err != nil {
+			conn.Close()
+			if c.faultTolerant() {
+				continue
+			}
+			return conns, fmt.Errorf("transport: sending welcome to client %d: %w", h.ID, err)
+		}
+		if h.Token != "" && w.Resumed {
+			c.Metrics.rejoin()
+		}
 		seen[h.ID] = true
 		conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 		cc.id = h.ID
@@ -287,11 +368,76 @@ func (c *Coordinator) acceptClients(ln net.Listener) (conns []*clientConn, err e
 	return conns, nil
 }
 
+// newToken mints a session token for a durable federation.
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("transport: minting session token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
 // ListenAndRun listens on addr, waits for the client roster, runs the
 // configured number of rounds, and returns the final global parameters.
 // Passing ":0" style addresses is supported; the bound address is reported
 // through the optional ready callback before blocking on accepts.
+//
+// With a Checkpoint manager attached the run is durable: snapshots land on
+// the CheckpointEvery cadence, a Stop signal exits cleanly at the next
+// round boundary (final snapshot, fl.ErrStopped), and a coordinator
+// constructed with Restore continues a previous session where its last
+// snapshot left off.
 func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([]float64, error) {
+	global := make([]float64, len(c.Initial))
+	copy(global, c.Initial)
+	startRound := 0
+	token := ""
+	failCounts := make(map[int]int)
+	if c.Restore != nil {
+		st := &c.Restore.State
+		if len(st.Global) != len(c.Initial) {
+			return nil, fmt.Errorf("transport: snapshot has %d global params, coordinator expects %d",
+				len(st.Global), len(c.Initial))
+		}
+		copy(global, st.Global)
+		startRound = st.NextRound
+		token = c.Restore.Token
+		for id, n := range st.FailCounts {
+			failCounts[id] = n
+		}
+	} else if c.Checkpoint != nil {
+		t, err := newToken()
+		if err != nil {
+			return nil, err
+		}
+		token = t
+	}
+	// durable is the highest round covered by a snapshot on disk.
+	durable := startRound - 1
+	every := c.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	saveSnapshot := func(nextRound int) error {
+		if c.Checkpoint == nil {
+			return nil
+		}
+		snap := &checkpoint.Snapshot{Token: token}
+		snap.State.NextRound = nextRound
+		snap.State.Global = append([]float64(nil), global...)
+		if len(failCounts) > 0 {
+			snap.State.FailCounts = make(map[int]int, len(failCounts))
+			for id, n := range failCounts {
+				snap.State.FailCounts[id] = n
+			}
+		}
+		if err := c.Checkpoint.Save(snap); err != nil {
+			return fmt.Errorf("transport: checkpoint after round %d: %w", nextRound-1, err)
+		}
+		durable = nextRound - 1
+		return nil
+	}
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -301,7 +447,9 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		ready(ln.Addr().String())
 	}
 
-	active, err := c.acceptClients(ln)
+	active, err := c.acceptClients(ln, welcome{
+		Token: token, NextRound: startRound, Resumed: c.Restore != nil,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -313,10 +461,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 	// Deterministic aggregation order regardless of connect order.
 	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 
-	global := make([]float64, len(c.Initial))
-	copy(global, c.Initial)
-
-	for round := 0; round < c.Rounds; round++ {
+	for round := startRound; round < c.Rounds; round++ {
 		roundStart := time.Now()
 		updates := make([]fl.Update, len(active))
 		errs := make([]error, len(active))
@@ -325,8 +470,8 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			wg.Add(1)
 			go func(i int, cc *clientConn) {
 				defer wg.Done()
-				errs[i] = cc.exchange(round, global, c.RoundTimeout, c.updateBudget(),
-					c.Metrics, &updates[i])
+				errs[i] = cc.exchange(round, durable, global, c.RoundTimeout, c.updateBudget(),
+					c.MaxUpdateNorm, c.Metrics, &updates[i])
 			}(i, cc)
 		}
 		wg.Wait()
@@ -350,6 +495,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 				failures = append(failures, fl.ClientFailure{
 					ClientID: cc.id, Round: round, Reason: reason, Err: err,
 				})
+				failCounts[cc.id]++
 				continue
 			}
 			valid = append(valid, updates[i])
@@ -377,6 +523,31 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		}
 		global = agg
 		c.RoundMetrics.RecordRound(roundStart, len(valid), len(failures), len(agg))
+
+		wrote := false
+		if c.Checkpoint != nil && ((round+1)%every == 0 || round == c.Rounds-1) {
+			if err := saveSnapshot(round + 1); err != nil {
+				return nil, err
+			}
+			wrote = true
+		}
+		if c.AfterRound != nil {
+			if err := c.AfterRound(round); err != nil {
+				return nil, err
+			}
+		}
+		if c.Stop != nil {
+			select {
+			case <-c.Stop:
+				if !wrote {
+					if err := saveSnapshot(round + 1); err != nil {
+						return nil, err
+					}
+				}
+				return nil, fl.ErrStopped
+			default:
+			}
+		}
 	}
 
 	for _, cc := range active {
@@ -408,6 +579,10 @@ type RetryConfig struct {
 	Rng *rand.Rand
 	// Dial overrides the dialer (fault-injection hook); nil dials TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Stop, when signaled (closed), aborts the client cleanly:
+	// RunClientRetry returns ErrClientStopped instead of dialing again,
+	// sleeping out a backoff, or blocking on the next round message.
+	Stop <-chan struct{}
 	// Metrics, when non-nil, counts retry attempts
 	// (transport_retry_attempts_total).
 	Metrics *Metrics
@@ -453,6 +628,34 @@ func (rc RetryConfig) backoff(attempt int) time.Duration {
 	return d
 }
 
+// ErrClientStopped is returned by RunClientRetry when the client is shut
+// down through RetryConfig.Stop. It signals a clean, deliberate exit, not
+// a failure.
+var ErrClientStopped = errors.New("transport: client stopped")
+
+// errFatal tags session errors no retry can fix (protocol violations,
+// training failures, impossible rollbacks).
+type errFatal struct{ err error }
+
+func (e errFatal) Error() string { return e.err.Error() }
+func (e errFatal) Unwrap() error { return e.err }
+
+// sessionState is what a client carries across reconnects of one
+// federation session: the session token, its training position, and
+// rollback captures of its local state for every round the coordinator has
+// not yet made durable.
+type sessionState struct {
+	token     string
+	nextRound int
+	joined    bool
+	// captures maps completed round r to the client's post-round-r local
+	// state; entries at or below the announced durable round are pruned.
+	captures map[int][]byte
+	// noCapture is set after CaptureState fails once (a client not built
+	// for statefulness); further rounds skip the attempt.
+	noCapture bool
+}
+
 // RunClient connects a local fl.Client to a coordinator at addr and
 // participates until the coordinator signals completion. It makes a single
 // connection attempt; see RunClientRetry for backoff.
@@ -460,59 +663,192 @@ func RunClient(addr string, client fl.Client) error {
 	return RunClientRetry(addr, client, RetryConfig{MaxAttempts: 1})
 }
 
-// RunClientRetry is RunClient with dial/handshake retry: connection
-// attempts that fail before the coordinator has started the federation
-// (i.e. before the first round message arrives) are retried with
-// exponential backoff and jitter, so clients can be launched before the
-// server is up. Once the federation is underway, errors are fatal — the
-// coordinator does not support mid-federation rejoin.
+// RunClientRetry is RunClient with dial retry and restart recovery:
+// connection attempts that fail before the coordinator has started the
+// federation are retried with exponential backoff and jitter, so clients
+// can be launched before the server is up. Against a durable coordinator
+// (one that issued a session token) mid-federation connection losses are
+// also retried: the client reconnects, presents the token, rolls its local
+// state back to the coordinator's resume round, and continues — with the
+// attempt budget refreshed every time a reconnect makes progress, so a
+// long outage is bounded by MaxAttempts of consecutive futile dials, not
+// by total dials. Against a non-durable coordinator mid-federation errors
+// remain fatal (there is nothing to rejoin).
 func RunClientRetry(addr string, client fl.Client, rc RetryConfig) error {
 	rc = rc.withDefaults()
+	st := &sessionState{captures: make(map[int][]byte)}
 	var err error
 	for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			rc.Metrics.retryAttempt()
-			time.Sleep(rc.backoff(attempt - 1))
+			if !sleepOrStop(rc.backoff(attempt-1), rc.Stop) {
+				return ErrClientStopped
+			}
 		}
-		var joined bool
-		joined, err = runSession(addr, client, rc.Dial)
-		if err == nil || joined {
+		if stopped(rc.Stop) {
+			return ErrClientStopped
+		}
+		joinedBefore, roundBefore := st.joined, st.nextRound
+		err = runSession(addr, client, rc.Dial, rc.Stop, st)
+		if err == nil || errors.Is(err, ErrClientStopped) || errors.As(err, &errFatal{}) {
 			return err
+		}
+		if st.joined && st.token == "" {
+			// Legacy fail-stop session: the coordinator cannot resume, so a
+			// mid-federation drop is final.
+			return err
+		}
+		if st.joined != joinedBefore || st.nextRound > roundBefore {
+			attempt = 1 // progress: refresh the backoff budget
 		}
 	}
 	return err
 }
 
-// runSession runs one full connect-train-finish session. joined reports
-// whether the coordinator started the federation with this client (at
-// least one round message arrived), i.e. whether a retry could rejoin.
-func runSession(addr string, client fl.Client, dial func(string) (net.Conn, error)) (joined bool, err error) {
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepOrStop sleeps for d, returning false early if stop fires.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if stop == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// runSession runs one connect-train session, updating st as the federation
+// progresses so a later session can resume.
+func runSession(addr string, client fl.Client, dial func(string) (net.Conn, error),
+	stop <-chan struct{}, st *sessionState) error {
 	conn, err := dial(addr)
 	if err != nil {
-		return false, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+
+	// While this session blocks in a gob read, a Stop signal unblocks it by
+	// expiring the read deadline; the session then reports ErrClientStopped.
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				conn.SetReadDeadline(time.Now()) //nolint:errcheck
+			case <-done:
+			}
+		}()
+	}
+	stopErr := func(err error) error {
+		if stopped(stop) {
+			return ErrClientStopped
+		}
+		return err
+	}
+
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-
-	if err := enc.Encode(hello{ID: client.ID(), NumSamples: client.NumSamples()}); err != nil {
-		return false, fmt.Errorf("transport: sending hello: %w", err)
+	if err := enc.Encode(hello{ID: client.ID(), NumSamples: client.NumSamples(), Token: st.token}); err != nil {
+		return stopErr(fmt.Errorf("transport: sending hello: %w", err))
 	}
+	var w welcome
+	if err := dec.Decode(&w); err != nil {
+		return stopErr(fmt.Errorf("transport: reading welcome: %w", err))
+	}
+	if st.token == "" {
+		st.token = w.Token
+	} else if w.Token != st.token {
+		return errFatal{fmt.Errorf("transport: coordinator session token changed mid-federation")}
+	}
+	if w.NextRound < st.nextRound {
+		// The coordinator lost rounds this client already trained; rewind
+		// to the capture matching its resume point.
+		if err := rollback(client, st, w.NextRound); err != nil {
+			return errFatal{err}
+		}
+	}
+	st.nextRound = w.NextRound
+
 	for {
 		var rm roundMsg
 		if err := dec.Decode(&rm); err != nil {
-			return joined, fmt.Errorf("transport: reading round: %w", err)
+			return stopErr(fmt.Errorf("transport: reading round: %w", err))
 		}
-		joined = true
+		st.joined = true
 		if rm.Done {
-			return true, nil
+			return nil
+		}
+		for r := range st.captures {
+			if r < rm.Durable {
+				delete(st.captures, r)
+			}
 		}
 		u, err := client.TrainLocal(rm.Round, rm.Params)
 		if err != nil {
-			return true, fmt.Errorf("transport: local training round %d: %w", rm.Round, err)
+			return errFatal{fmt.Errorf("transport: local training round %d: %w", rm.Round, err)}
 		}
 		if err := enc.Encode(updateMsg{U: u}); err != nil {
-			return true, fmt.Errorf("transport: sending update: %w", err)
+			return stopErr(fmt.Errorf("transport: sending update: %w", err))
 		}
+		st.nextRound = rm.Round + 1
+		capture(client, st, rm.Round)
 	}
+}
+
+// capture records the client's post-round state for possible rollback.
+// Only durable sessions need it, and only stateful clients can provide it;
+// everything else degrades silently (rollback will then refuse).
+func capture(client fl.Client, st *sessionState, round int) {
+	if st.token == "" || st.noCapture {
+		return
+	}
+	sc, ok := client.(fl.StatefulClient)
+	if !ok {
+		st.noCapture = true
+		return
+	}
+	blob, err := sc.CaptureState()
+	if err != nil {
+		st.noCapture = true
+		return
+	}
+	st.captures[round] = blob
+}
+
+// rollback rewinds the client to its post-round-(nextRound-1) capture.
+func rollback(client fl.Client, st *sessionState, nextRound int) error {
+	if nextRound == st.nextRound {
+		return nil
+	}
+	sc, ok := client.(fl.StatefulClient)
+	if !ok || st.noCapture {
+		return fmt.Errorf("transport: coordinator resumed at round %d but client %d is at %d and cannot roll back",
+			nextRound, client.ID(), st.nextRound)
+	}
+	blob, ok := st.captures[nextRound-1]
+	if !ok {
+		return fmt.Errorf("transport: coordinator resumed at round %d but client %d holds no capture for round %d",
+			nextRound, client.ID(), nextRound-1)
+	}
+	if err := sc.RestoreState(blob); err != nil {
+		return fmt.Errorf("transport: rolling client %d back to round %d: %w", client.ID(), nextRound-1, err)
+	}
+	return nil
 }

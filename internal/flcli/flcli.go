@@ -5,11 +5,16 @@ package flcli
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/cip-fl/cip/internal/datasets"
+	"github.com/cip-fl/cip/internal/fl/checkpoint"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/telemetry"
 	"github.com/cip-fl/cip/internal/tensor"
@@ -60,33 +65,83 @@ type Global struct {
 	Params []float64
 }
 
-// SaveGlobal writes the global model with gob encoding.
+// maxModelFileBytes caps how much of a model file either loader will
+// read: global models and artifacts at our scales are a few MiB, so 1 GiB
+// is an absurdly generous bound that still stops a mislabeled or hostile
+// multi-terabyte file from reaching the decoder.
+const maxModelFileBytes = 1 << 30
+
+// SaveGlobal writes the global model atomically in the checksummed
+// checkpoint container format (temp file → fsync → rename), so a crash
+// mid-save can never leave a silently truncated model behind.
 func SaveGlobal(path string, p datasets.Preset, s datasets.Scale, seed int64,
 	arch model.Arch, params []float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("flcli: saving global model: %w", err)
-	}
-	defer f.Close()
 	g := Global{Preset: p, Scale: s, Seed: seed, Arch: arch, Params: params}
-	if err := gob.NewEncoder(f).Encode(&g); err != nil {
-		return fmt.Errorf("flcli: encoding global model: %w", err)
+	if err := checkpoint.WriteFile(path, checkpoint.KindGlobal, &g); err != nil {
+		return fmt.Errorf("flcli: saving global model: %w", err)
 	}
 	return nil
 }
 
-// LoadGlobal reads a global model written by SaveGlobal.
+// LoadGlobal reads a global model written by SaveGlobal. Containerized
+// files are validated end to end (magic, kind, length, checksum) before
+// decoding; files from before the container format fall back to a raw,
+// byte-bounded gob decode. Corruption surfaces as a clean error either
+// way, never a panic or an unbounded allocation.
 func LoadGlobal(path string) (*Global, error) {
+	var g Global
+	err := checkpoint.ReadFile(path, checkpoint.KindGlobal, maxModelFileBytes, &g)
+	if errors.Is(err, checkpoint.ErrNotCheckpoint) {
+		return loadGlobalLegacy(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flcli: loading global model: %w", err)
+	}
+	return &g, nil
+}
+
+func loadGlobalLegacy(path string) (*Global, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("flcli: loading global model: %w", err)
 	}
 	defer f.Close()
 	var g Global
-	if err := gob.NewDecoder(f).Decode(&g); err != nil {
-		return nil, fmt.Errorf("flcli: decoding global model: %w", err)
+	if err := decodeBounded(f, &g); err != nil {
+		return nil, fmt.Errorf("flcli: decoding global model %s: %w", path, err)
 	}
 	return &g, nil
+}
+
+// decodeBounded gob-decodes one value from r reading at most
+// maxModelFileBytes, converting decoder panics into errors so legacy
+// (uncontainerized, unchecksummed) files degrade cleanly.
+func decodeBounded(r io.Reader, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("decode panicked: %v", p)
+		}
+	}()
+	return gob.NewDecoder(io.LimitReader(r, maxModelFileBytes)).Decode(v)
+}
+
+// ShutdownSignal installs SIGINT/SIGTERM handling shared by every FL
+// command: the returned channel closes on the first signal (callers treat
+// it as a graceful round-boundary stop), and a second signal exits
+// immediately with status 1 for operators who really mean it.
+func ShutdownSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "shutdown requested; finishing the current round (signal again to abort)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "aborting")
+		os.Exit(1)
+	}()
+	return stop
 }
 
 // StartTelemetry starts the opt-in telemetry endpoint every FL command

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/cip-fl/cip/internal/tensor"
@@ -49,6 +50,48 @@ func (s *SGD) Step(params []*Param) {
 		}
 		tensor.AxpyInPlace(p.Value, -s.LR, g)
 	}
+}
+
+// CaptureVelocity returns the momentum buffers aligned with params: entry
+// i is a copy of params[i]'s velocity, or nil when that parameter has not
+// been stepped yet. Together with the parameter values themselves this is
+// the optimizer's complete state, so a checkpoint that stores it can
+// resume momentum SGD bit-identically.
+func (s *SGD) CaptureVelocity(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		if v, ok := s.velocity[p]; ok {
+			out[i] = append([]float64(nil), v.Data...)
+		}
+	}
+	return out
+}
+
+// RestoreVelocity installs momentum buffers captured by CaptureVelocity
+// onto params (which must be the same parameters, in the same order).
+func (s *SGD) RestoreVelocity(params []*Param, vel [][]float64) error {
+	if len(vel) != len(params) {
+		return fmt.Errorf("nn: RestoreVelocity got %d buffers for %d params", len(vel), len(params))
+	}
+	for i, data := range vel {
+		if data == nil {
+			if s.velocity != nil {
+				delete(s.velocity, params[i])
+			}
+			continue
+		}
+		if len(data) != params[i].Value.Size() {
+			return fmt.Errorf("nn: RestoreVelocity buffer %d has %d values, want %d",
+				i, len(data), params[i].Value.Size())
+		}
+		if s.velocity == nil {
+			s.velocity = make(map[*Param]*tensor.Tensor)
+		}
+		v := tensor.New(params[i].Value.Shape...)
+		copy(v.Data, data)
+		s.velocity[params[i]] = v
+	}
+	return nil
 }
 
 // Adam is the Adam optimizer (Kingma & Ba).

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/cip-fl/cip/internal/tensor"
+)
+
+func velocityFixture(vals ...float64) []*Param {
+	params := make([]*Param, len(vals))
+	for i, v := range vals {
+		p := &Param{Value: tensor.New(2)}
+		p.Value.Data[0], p.Value.Data[1] = v, -v
+		p.Grad = tensor.New(2)
+		p.Grad.Data[0], p.Grad.Data[1] = 0.5, 0.25
+		params[i] = p
+	}
+	return params
+}
+
+// TestVelocityRoundTripResumesBitIdentical checks the optimizer half of
+// the checkpoint contract: momentum SGD resumed from captured velocity on
+// a fresh optimizer continues bit-identically to one that never stopped.
+func TestVelocityRoundTripResumesBitIdentical(t *testing.T) {
+	ref := velocityFixture(1, 2)
+	refOpt := &SGD{LR: 0.1, Momentum: 0.9}
+	refOpt.Step(ref)
+	refOpt.Step(ref)
+
+	// Interrupted twin: one step, capture, "process death", restore onto a
+	// fresh optimizer over identically valued params, second step.
+	live := velocityFixture(1, 2)
+	liveOpt := &SGD{LR: 0.1, Momentum: 0.9}
+	liveOpt.Step(live)
+	vel := liveOpt.CaptureVelocity(live)
+
+	resumed := velocityFixture(0, 0)
+	for i, p := range resumed {
+		copy(p.Value.Data, live[i].Value.Data)
+	}
+	resumedOpt := &SGD{LR: 0.1, Momentum: 0.9}
+	if err := resumedOpt.RestoreVelocity(resumed, vel); err != nil {
+		t.Fatal(err)
+	}
+	resumedOpt.Step(resumed)
+
+	for i := range ref {
+		for j, want := range ref[i].Value.Data {
+			if got := resumed[i].Value.Data[j]; got != want {
+				t.Fatalf("param %d[%d]: resumed %v, uninterrupted %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCaptureVelocityBeforeAnyStepIsNil(t *testing.T) {
+	params := velocityFixture(1)
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	vel := opt.CaptureVelocity(params)
+	if len(vel) != 1 || vel[0] != nil {
+		t.Fatalf("unstepped optimizer captured %v, want a nil buffer", vel)
+	}
+	// Restoring a nil buffer must clear any stale velocity.
+	opt.Step(params)
+	if err := opt.RestoreVelocity(params, vel); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.CaptureVelocity(params); got[0] != nil {
+		t.Fatal("RestoreVelocity(nil buffer) left stale velocity behind")
+	}
+}
+
+func TestRestoreVelocityRejectsMismatch(t *testing.T) {
+	params := velocityFixture(1, 2)
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	if err := opt.RestoreVelocity(params, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("buffer count mismatch accepted")
+	}
+	if err := opt.RestoreVelocity(params, [][]float64{{1, 2, 3}, nil}); err == nil {
+		t.Fatal("buffer size mismatch accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Package rng provides a serializable random-number source for the parts
+// of the federation that must survive process death: unlike the stdlib's
+// rand.NewSource, whose internal state cannot be extracted, a Source here
+// exposes its full state as a single uint64, so a checkpoint can capture
+// the exact position of a random stream and a resumed run can continue it
+// bit-identically (DESIGN.md §10).
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA'14): a 64-bit
+// state advanced by a Weyl constant and finalized by an avalanching mixer.
+// It passes BigCrush, is allocation-free, and — the property everything
+// here is built for — its entire state is the one counter word.
+package rng
+
+import "math/rand"
+
+// Source is a SplitMix64 random source. It implements rand.Source64, so
+// rand.New(src) layers the full math/rand distribution API on top; as long
+// as the consumer avoids rand.Rand.Read (the only buffered method), the
+// wrapped rand.Rand carries no hidden state and State/SetState capture it
+// completely.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// New returns a rand.Rand driven by a fresh Source, plus the Source itself
+// so callers can capture and restore its state.
+func New(seed int64) (*rand.Rand, *Source) {
+	src := NewSource(seed)
+	return rand.New(src), src
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// State returns the generator's complete internal state.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state previously returned by State. The next draw
+// after SetState equals the next draw after the matching State call.
+func (s *Source) SetState(v uint64) { s.state = v }

@@ -1,0 +1,73 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a, _ := New(42)
+	b, _ := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r, src := New(7)
+	for i := 0; i < 137; i++ {
+		r.Float64()
+	}
+	saved := src.State()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+	// Restoring the state must replay the identical suffix, including
+	// through the distribution methods layered on by rand.Rand.
+	src.SetState(saved)
+	for i := range want {
+		if got := r.Float64(); got != want[i] {
+			t.Fatalf("draw %d after restore: got %v, want %v", i, got, want[i])
+		}
+	}
+	// A fresh rand.Rand over a restored source is equivalent too: the
+	// wrapper holds no hidden state for the methods we use.
+	src2 := NewSource(0)
+	src2.SetState(saved)
+	r2 := rand.New(src2)
+	src.SetState(saved)
+	for i := 0; i < 50; i++ {
+		if r.Perm(10)[0] != r2.Perm(10)[0] {
+			t.Fatalf("restored source + fresh rand.Rand diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := New(1)
+	b, _ := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestUniformish(t *testing.T) {
+	r, _ := New(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("mean of %d uniform draws = %v, want ≈0.5", n, mean)
+	}
+}
