@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz chaos chaossmoke bench benchsmoke check
+.PHONY: build test race vet fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke check
 
 build:
 	$(GO) build ./...
@@ -36,14 +36,36 @@ chaossmoke:
 		-run 'CrashResumeBitIdenticalInProcess|ManagerTornWrite|ManagerFallsBack' \
 		./internal/fl/checkpoint
 
+# byzantine runs the adversarial chaos suite under the race detector:
+# sign-flip / scaled-gradient / collusion injectors, convergence within ε
+# of the attack-free baseline with f < n/3 under the robust folds
+# (in-process and over TCP), reputation-driven quarantine, quarantine
+# surviving coordinator kill→restart→resume, and secure-aggregation
+# dropout handling.
+byzantine:
+	$(GO) test -race -count=1 -timeout 20m \
+		-run 'Byzantine|Quarantine|Dropout|Residual|RetryJitter' \
+		./internal/fl ./internal/fl/transport ./internal/fl/secagg
+	$(GO) test -race -count=1 ./internal/fl/robust ./internal/fl/faults
+
+# byzsmoke is the fast race-enabled subset that rides in `make check`: the
+# TCP quarantine + restart-no-amnesty path (cheap deterministic clients)
+# plus the reputation state machine and injector arithmetic.
+byzsmoke:
+	$(GO) test -race -count=1 -run 'TCPByzantine|RetryJitter' ./internal/fl/transport
+	$(GO) test -race -count=1 ./internal/fl/robust ./internal/fl/faults
+
 # Short fuzz bursts over the two decoders that parse untrusted bytes: the
 # coordinator's byte-budgeted update decode (the path hostile clients
 # reach over the wire) and the checkpoint container decode (the path a
-# resuming process walks over whatever a crash left on disk). Raise
-# FUZZTIME for a real campaign: make fuzz FUZZTIME=10m
+# resuming process walks over whatever a crash left on disk), plus the
+# robust aggregators (which must never panic or emit non-finite
+# aggregates, whatever a hostile cohort sends). Raise FUZZTIME for a real
+# campaign: make fuzz FUZZTIME=10m
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeUpdate -fuzztime=$(FUZZTIME) ./internal/fl/transport
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/fl/checkpoint
+	$(GO) test -run='^$$' -fuzz=FuzzRobustAggregate -fuzztime=$(FUZZTIME) ./internal/fl/robust
 
 # bench regenerates the tracked perf report against the committed seed
 # baseline. The same workloads run under plain `go test -bench` in
@@ -53,11 +75,21 @@ bench:
 		-bench-out BENCH_PR3.json \
 		-bench-note "blocked GEMM + pooling + parallel rounds PR"
 
+# benchrobust measures the byzantine-resilience overhead: the robust
+# folds against the plain mean at the aggregation level (RobustAgg*) and
+# end-to-end round latency (RobustRound* — RobustRoundMean is the
+# control the <15% regression budget is judged against).
+benchrobust:
+	$(GO) run ./cmd/cipbench -bench Robust \
+		-bench-out BENCH_PR6.json \
+		-bench-note "byzantine-resilient aggregation PR: robust folds + reputation vs plain mean"
+
 # benchsmoke proves the regression harness itself still runs (one fast
 # kernel workload, report to stdout) without the minutes-long full sweep.
 benchsmoke:
 	$(GO) run ./cmd/cipbench -bench MatMulTransB128 -baseline BENCH_SEED.json >/dev/null
 
 # check is the full CI gate: static analysis, the race-enabled suite, a
-# short fuzz burst, the crash-harness smoke, and the bench-harness smoke.
-check: vet race fuzz chaossmoke benchsmoke
+# short fuzz burst, the crash-harness smoke, the byzantine smoke, and the
+# bench-harness smoke.
+check: vet race fuzz chaossmoke byzsmoke benchsmoke

@@ -59,6 +59,9 @@ func run() error {
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot cadence in rounds")
 	resume := flag.Bool("resume", false,
 		"resume from the snapshot at -checkpoint (fresh start if none exists)")
+	quorum := flag.Int("quorum", 0,
+		"minimum valid updates per round; >0 enables quorum-based partial aggregation")
+	robustFlags := flcli.RegisterRobustFlags()
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
@@ -90,7 +93,18 @@ func run() error {
 			Metrics: checkpoint.NewMetrics(reg),
 		}
 	}
-	a, err := experiments.TrainArtifactDurable(p, scale, *seed, *clients, *rounds, *alpha, reg, spec)
+	robustAgg, reputation, err := robustFlags.Build(0)
+	if err != nil {
+		return err
+	}
+	var policy *fl.RoundPolicy
+	if robustAgg != nil || reputation != nil || *quorum > 0 {
+		policy = &fl.RoundPolicy{MinQuorum: *quorum, Robust: robustAgg, Reputation: reputation}
+		if robustAgg != nil {
+			fmt.Printf("robust aggregation: %s\n", robustAgg.Name())
+		}
+	}
+	a, err := experiments.TrainArtifactDurable(p, scale, *seed, *clients, *rounds, *alpha, reg, spec, policy)
 	if errors.Is(err, fl.ErrStopped) {
 		fmt.Printf("stopped at a round boundary; snapshot saved to %s — rerun with -resume to continue\n",
 			*ckptPath)

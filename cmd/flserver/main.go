@@ -56,6 +56,7 @@ func run() error {
 		"resume from the snapshot at -checkpoint (fresh start if none exists)")
 	maxUpdateNorm := flag.Float64("max-update-norm", 0,
 		"reject client updates whose L2 norm exceeds this; 0 disables the bound")
+	robustFlags := flcli.RegisterRobustFlags()
 	flag.Parse()
 
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -76,6 +77,10 @@ func run() error {
 	}
 	defer stopTelemetry()
 
+	robustAgg, reputation, err := robustFlags.Build(*maxUpdateNorm)
+	if err != nil {
+		return err
+	}
 	coord := &transport.Coordinator{
 		NumClients:    *clients,
 		Rounds:        *rounds,
@@ -84,8 +89,13 @@ func run() error {
 		RoundTimeout:  *roundTimeout,
 		AcceptWindow:  *acceptWindow,
 		MaxUpdateNorm: *maxUpdateNorm,
+		Robust:        robustAgg,
+		Reputation:    reputation,
 		Metrics:       transport.NewMetrics(reg),
 		RoundMetrics:  fl.NewMetrics(reg),
+	}
+	if robustAgg != nil {
+		fmt.Printf("robust aggregation: %s\n", robustAgg.Name())
 	}
 	if *ckptPath != "" {
 		coord.Checkpoint = &checkpoint.Manager{Path: *ckptPath, Metrics: checkpoint.NewMetrics(reg)}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/robust"
 	"github.com/cip-fl/cip/internal/model"
 	"github.com/cip-fl/cip/internal/nn"
 	"github.com/cip-fl/cip/internal/tensor"
@@ -37,6 +38,13 @@ func Specs() []Spec {
 		{"ConvLowering", convLoweringFLOPs, ConvLowering},
 		{"ConvForwardBackward", 0, ConvForwardBackward},
 		{"Fig4ClientsSweep", 0, Fig4ClientsSweep},
+		{"RobustAggMean", 0, RobustAggMean},
+		{"RobustAggMedian", 0, RobustAggMedian},
+		{"RobustAggTrimmed", 0, RobustAggTrimmed},
+		{"RobustAggClipped", 0, RobustAggClipped},
+		{"RobustRoundMean", 0, RobustRoundMean},
+		{"RobustRoundMedian", 0, RobustRoundMedian},
+		{"RobustRoundTrimmed", 0, RobustRoundTrimmed},
 	}
 }
 
@@ -135,6 +143,108 @@ func Fig4ClientsSweep(b *testing.B) {
 			sweepFederation(b, d, k, 6)
 		}
 	}
+}
+
+// robustAggBench measures one robust fold over a 12-client cohort at a
+// realistic model dimensionality (200k parameters) — the per-round
+// aggregation cost the Byzantine-resilience PR adds on top of training.
+func robustAggBench(rule robust.Aggregator) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n, dim = 12, 200_000
+		rng := rand.New(rand.NewSource(5))
+		center := make([]float64, dim)
+		params := make([][]float64, n)
+		weights := make([]float64, n)
+		for i := range params {
+			row := make([]float64, dim)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			params[i] = row
+			weights[i] = 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rule.Aggregate(center, params, weights); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// RobustAggMean is the aggregation-cost control: the unweighted mean over
+// the same cohort the robust rules fold.
+func RobustAggMean(b *testing.B) { robustAggBench(robust.Mean{})(b) }
+
+// RobustAggMedian folds the cohort with the coordinate-wise median.
+func RobustAggMedian(b *testing.B) { robustAggBench(robust.Median{})(b) }
+
+// RobustAggTrimmed folds the cohort with the 25%-per-tail trimmed mean.
+func RobustAggTrimmed(b *testing.B) { robustAggBench(robust.TrimmedMean{Frac: 0.25})(b) }
+
+// RobustAggClipped folds the cohort with the norm-clipped mean.
+func RobustAggClipped(b *testing.B) { robustAggBench(robust.ClippedMean{MaxNorm: 10})(b) }
+
+// robustRound runs an identical 6-client quick-scale federation for 3
+// rounds under the given policy; comparing the Robust rounds against
+// RobustRoundMean isolates the end-to-end round-latency overhead of the
+// robust fold plus reputation scoring.
+func robustRound(b *testing.B, policy *fl.RoundPolicy) {
+	d, err := datasets.Load(datasets.CIFAR100, datasets.Quick, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k, rounds = 6, 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		shards := datasets.PartitionIID(d.Train, k, rng)
+		clients := make([]fl.Client, k)
+		var initial []float64
+		for j := 0; j < k; j++ {
+			net := model.NewClassifier(rand.New(rand.NewSource(2)), model.VGG,
+				d.Train.In, d.Train.NumClasses)
+			if initial == nil {
+				initial = nn.FlattenParams(net.Params())
+			}
+			clients[j] = fl.NewLegacyClient(j, net, shards[j], fl.ClientConfig{
+				BatchSize:   16,
+				LocalEpochs: 1,
+				LR:          fl.DecaySchedule(0.05, rounds),
+				Momentum:    0.9,
+			}, nil, rand.New(rand.NewSource(int64(10+j))))
+		}
+		srv := fl.NewServer(initial, clients...)
+		srv.Policy = policy
+		if err := srv.Run(rounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RobustRoundMean is the round-latency control: the same federation under
+// plain sample-weighted FedAvg.
+func RobustRoundMean(b *testing.B) { robustRound(b, nil) }
+
+// RobustRoundMedian runs the full defense stack (median fold + reputation
+// scoring) the byzantine deployments use.
+func RobustRoundMedian(b *testing.B) {
+	robustRound(b, &fl.RoundPolicy{
+		MinQuorum:  3,
+		Robust:     robust.Median{},
+		Reputation: robust.NewReputation(robust.ReputationConfig{}),
+	})
+}
+
+// RobustRoundTrimmed is RobustRoundMedian under the trimmed mean.
+func RobustRoundTrimmed(b *testing.B) {
+	robustRound(b, &fl.RoundPolicy{
+		MinQuorum:  3,
+		Robust:     robust.TrimmedMean{Frac: 0.25},
+		Reputation: robust.NewReputation(robust.ReputationConfig{}),
+	})
 }
 
 func sweepFederation(b *testing.B, d *datasets.Data, k, rounds int) {

@@ -10,3 +10,10 @@ func BenchmarkMatMulTransB128(b *testing.B)     { MatMulTransB128(b) }
 func BenchmarkConvLowering(b *testing.B)        { ConvLowering(b) }
 func BenchmarkConvForwardBackward(b *testing.B) { ConvForwardBackward(b) }
 func BenchmarkFig4ClientsSweep(b *testing.B)    { Fig4ClientsSweep(b) }
+func BenchmarkRobustAggMean(b *testing.B)       { RobustAggMean(b) }
+func BenchmarkRobustAggMedian(b *testing.B)     { RobustAggMedian(b) }
+func BenchmarkRobustAggTrimmed(b *testing.B)    { RobustAggTrimmed(b) }
+func BenchmarkRobustAggClipped(b *testing.B)    { RobustAggClipped(b) }
+func BenchmarkRobustRoundMean(b *testing.B)     { RobustRoundMean(b) }
+func BenchmarkRobustRoundMedian(b *testing.B)   { RobustRoundMedian(b) }
+func BenchmarkRobustRoundTrimmed(b *testing.B)  { RobustRoundTrimmed(b) }

@@ -77,10 +77,14 @@ func runServer(srv *fl.Server, rounds int, spec *CheckpointSpec) error {
 // checkpointing: the federation snapshots through spec, and an interrupted
 // run (fl.ErrStopped, process death) can be rerun with spec.Resume to
 // continue where the last snapshot left off, producing a bit-identical
-// artifact. A nil spec degrades to TrainArtifactObserved.
+// artifact. A nil spec degrades to TrainArtifactObserved. policy, when
+// non-nil, attaches quorum / robust-aggregation / quarantine semantics to
+// the federation (cmd/ciptrain builds it from -robust-agg and friends);
+// the reputation tracker's state rides the snapshot, so a resumed run
+// keeps its quarantine decisions.
 func TrainArtifactDurable(p datasets.Preset, scale datasets.Scale, seed int64,
 	clients, rounds int, alpha float64, reg *telemetry.Registry,
-	spec *CheckpointSpec) (*Artifact, error) {
+	spec *CheckpointSpec, policy *fl.RoundPolicy) (*Artifact, error) {
 	d, err := datasets.Load(p, scale, seed)
 	if err != nil {
 		return nil, err
@@ -89,7 +93,7 @@ func TrainArtifactDurable(p datasets.Preset, scale datasets.Scale, seed int64,
 	a := &Artifact{Preset: p, Scale: scale, Seed: seed, Arch: arch, Alpha: alpha}
 	if alpha > 0 {
 		run, err := runCIP(d.Train, arch, clients, rounds, alpha, seed,
-			cipOpts{augment: d.Augment, telemetry: reg, ckpt: spec})
+			cipOpts{augment: d.Augment, telemetry: reg, ckpt: spec, policy: policy})
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +103,7 @@ func TrainArtifactDurable(p datasets.Preset, scale datasets.Scale, seed int64,
 		return a, nil
 	}
 	run, err := runLegacy(d.Train, arch, clients, rounds, seed,
-		legacyOpts{augment: d.Augment, telemetry: reg, ckpt: spec})
+		legacyOpts{augment: d.Augment, telemetry: reg, ckpt: spec, policy: policy})
 	if err != nil {
 		return nil, err
 	}

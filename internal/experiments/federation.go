@@ -49,6 +49,9 @@ type legacyOpts struct {
 	// stateful (serializable RNGs, tracked data order) and the server
 	// snapshots/resumes through it.
 	ckpt *CheckpointSpec
+	// policy, when non-nil, attaches a RoundPolicy (quorum, robust
+	// aggregation, reputation-driven quarantine) to the server.
+	policy *fl.RoundPolicy
 }
 
 // runLegacy trains a FedAvg federation of plain classifiers (optionally
@@ -108,6 +111,7 @@ func runLegacy(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter
+	srv.Policy = opts.policy
 	if err := runServer(srv, rounds, opts.ckpt); err != nil {
 		return nil, fmt.Errorf("experiments: legacy federation: %w", err)
 	}
@@ -155,6 +159,8 @@ type cipOpts struct {
 	lambdaM float64
 	// ckpt, when non-nil, makes the run durable (see legacyOpts.ckpt).
 	ckpt *CheckpointSpec
+	// policy, when non-nil, attaches a RoundPolicy (see legacyOpts.policy).
+	policy *fl.RoundPolicy
 }
 
 // cipTrainConfig is the CIP hyperparameter set the experiments use: the
@@ -219,6 +225,7 @@ func runCIP(train *datasets.Dataset, arch model.Arch, nClients, rounds int,
 	srv.Observers = append(srv.Observers, rec)
 	srv.Observers = append(srv.Observers, opts.observers...)
 	srv.Alter = opts.alter
+	srv.Policy = opts.policy
 	if err := runServer(srv, rounds, opts.ckpt); err != nil {
 		return nil, fmt.Errorf("experiments: CIP federation: %w", err)
 	}

@@ -1,0 +1,267 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/rng"
+)
+
+// Byzantine injectors: clients that train honestly and then lie. Unlike the
+// crash/straggler/corruption wrappers above, these emit well-formed, finite
+// updates that pass validation — the attacks a plain FedAvg mean cannot
+// survive and the robust aggregators in internal/fl/robust exist to absorb.
+// Every wrapper is schedule-driven (nil Rounds = every round) and, where it
+// needs randomness, seeded through internal/rng, so a chaos run replays
+// bit-identically.
+
+// SignFlip wraps a client that trains honestly and then reverses its
+// update's direction relative to the broadcast global, scaled by Scale
+// (values ≤ 0 mean 1): params ← global − Scale·(params − global). The
+// classic gradient-ascent attack — each poisoned update pulls the model
+// away from the honest descent direction.
+type SignFlip struct {
+	fl.Client
+	Scale float64
+	Flip  Rounds
+}
+
+// NewSignFlip wraps inner with a sign-flip attack on the scheduled rounds.
+func NewSignFlip(inner fl.Client, scale float64, flip Rounds) *SignFlip {
+	return &SignFlip{Client: inner, Scale: scale, Flip: flip}
+}
+
+// TrainLocal implements fl.Client.
+func (s *SignFlip) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := s.Client.TrainLocal(round, global)
+	if err != nil || !s.Flip.hits(round) {
+		return u, err
+	}
+	scale := s.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for i := range u.Params {
+		g := 0.0
+		if i < len(global) {
+			g = global[i]
+		}
+		u.Params[i] = g - scale*(u.Params[i]-g)
+	}
+	return u, nil
+}
+
+// ScaledUpdate wraps a client that magnifies its honest delta from the
+// global by Factor: params ← global + Factor·(params − global). A
+// model-replacement / boosting attack — with plain FedAvg a single client
+// scaled by n can overwrite the aggregate outright. Factor values in
+// (0, 1) model a lazy free-rider instead.
+type ScaledUpdate struct {
+	fl.Client
+	Factor float64
+	Boost  Rounds
+}
+
+// NewScaledUpdate wraps inner, boosting its delta on the scheduled rounds.
+func NewScaledUpdate(inner fl.Client, factor float64, boost Rounds) *ScaledUpdate {
+	return &ScaledUpdate{Client: inner, Factor: factor, Boost: boost}
+}
+
+// TrainLocal implements fl.Client.
+func (s *ScaledUpdate) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := s.Client.TrainLocal(round, global)
+	if err != nil || !s.Boost.hits(round) {
+		return u, err
+	}
+	for i := range u.Params {
+		g := 0.0
+		if i < len(global) {
+			g = global[i]
+		}
+		u.Params[i] = g + s.Factor*(u.Params[i]-g)
+	}
+	return u, nil
+}
+
+// Colluder wraps a client that discards its honest update and submits a
+// coordinated fabricated one: every colluder sharing a Seed emits the SAME
+// pseudo-random target vector each round (drawn per-round from the shared
+// seed, scaled by Strength). Identical values defeat outlier detectors
+// that assume attackers look unusual individually, and a colluding bloc
+// larger than the trim budget can shift a trimmed mean — exactly the
+// f < n/3 boundary the chaos suite probes.
+type Colluder struct {
+	fl.Client
+	Seed     uint64
+	Strength float64
+	Collude  Rounds
+}
+
+// NewColluder wraps inner with a same-value collusion attack.
+func NewColluder(inner fl.Client, seed uint64, strength float64, collude Rounds) *Colluder {
+	return &Colluder{Client: inner, Seed: seed, Strength: strength, Collude: collude}
+}
+
+// TrainLocal implements fl.Client.
+func (c *Colluder) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := c.Client.TrainLocal(round, global)
+	if err != nil || !c.Collude.hits(round) {
+		return u, err
+	}
+	// Derive the shared target from (Seed, round) only — independent of
+	// which colluder draws it, so the bloc agrees bit-for-bit.
+	src := rng.NewSource(int64(c.Seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15))
+	strength := c.Strength
+	if strength == 0 {
+		strength = 1
+	}
+	for i := range u.Params {
+		g := 0.0
+		if i < len(global) {
+			g = global[i]
+		}
+		u.Params[i] = g + strength*(2*float64(src.Uint64()>>11)/(1<<53)-1)
+	}
+	return u, nil
+}
+
+// LabelDrift wraps a client that simulates label-flipping poisoning: its
+// honest update is nudged by a persistent, client-specific drift direction
+// (drawn once from Seed) with magnitude Strength relative to its own delta
+// norm. Unlike SignFlip it stays subtle — the update remains mostly honest,
+// the attack accumulates across rounds, and per-round outlier tests barely
+// fire; the EWMA reputation tracker is what catches it.
+type LabelDrift struct {
+	fl.Client
+	Seed     uint64
+	Strength float64
+	Drift    Rounds
+
+	dir []float64
+}
+
+// NewLabelDrift wraps inner with a persistent drift attack.
+func NewLabelDrift(inner fl.Client, seed uint64, strength float64, drift Rounds) *LabelDrift {
+	return &LabelDrift{Client: inner, Seed: seed, Strength: strength, Drift: drift}
+}
+
+// TrainLocal implements fl.Client.
+func (l *LabelDrift) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := l.Client.TrainLocal(round, global)
+	if err != nil || !l.Drift.hits(round) {
+		return u, err
+	}
+	if len(l.dir) != len(u.Params) {
+		src := rng.NewSource(int64(l.Seed))
+		l.dir = make([]float64, len(u.Params))
+		var norm float64
+		for i := range l.dir {
+			l.dir[i] = 2*float64(src.Uint64()>>11)/(1<<53) - 1
+			norm += l.dir[i] * l.dir[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for i := range l.dir {
+				l.dir[i] /= norm
+			}
+		}
+	}
+	var deltaNorm float64
+	for i, v := range u.Params {
+		g := 0.0
+		if i < len(global) {
+			g = global[i]
+		}
+		deltaNorm += (v - g) * (v - g)
+	}
+	deltaNorm = math.Sqrt(deltaNorm)
+	if deltaNorm == 0 {
+		deltaNorm = 1
+	}
+	for i := range u.Params {
+		u.Params[i] += l.Strength * deltaNorm * l.dir[i]
+	}
+	return u, nil
+}
+
+// InflateSamples wraps a client that lies about its dataset size,
+// multiplying NumSamples by Factor (≥ 2) on the scheduled rounds. Against
+// sample-weighted FedAvg this silently amplifies the client's influence;
+// the robust rules ignore reported weights entirely, which this injector
+// exists to prove.
+type InflateSamples struct {
+	fl.Client
+	Factor  int
+	Inflate Rounds
+}
+
+// NewInflateSamples wraps inner, inflating its reported sample count.
+func NewInflateSamples(inner fl.Client, factor int, inflate Rounds) *InflateSamples {
+	return &InflateSamples{Client: inner, Factor: factor, Inflate: inflate}
+}
+
+// TrainLocal implements fl.Client.
+func (f *InflateSamples) TrainLocal(round int, global []float64) (fl.Update, error) {
+	u, err := f.Client.TrainLocal(round, global)
+	if err != nil || !f.Inflate.hits(round) {
+		return u, err
+	}
+	factor := f.Factor
+	if factor < 2 {
+		factor = 2
+	}
+	u.NumSamples *= factor
+	return u, nil
+}
+
+// The Byzantine wrappers carry no state of their own (LabelDrift's cached
+// direction is re-derived from Seed), so each forwards StatefulClient to
+// its inner client. Attacked federations can therefore checkpoint and
+// resume — the restart-must-not-amnesty tests depend on it.
+
+func captureInner(c fl.Client) ([]byte, error) {
+	sc, ok := c.(fl.StatefulClient)
+	if !ok {
+		return nil, fmt.Errorf("faults: wrapped client %d (%T) is not stateful", c.ID(), c)
+	}
+	return sc.CaptureState()
+}
+
+func restoreInner(c fl.Client, blob []byte) error {
+	sc, ok := c.(fl.StatefulClient)
+	if !ok {
+		return fmt.Errorf("faults: wrapped client %d (%T) is not stateful", c.ID(), c)
+	}
+	return sc.RestoreState(blob)
+}
+
+// CaptureState implements fl.StatefulClient.
+func (s *SignFlip) CaptureState() ([]byte, error) { return captureInner(s.Client) }
+
+// RestoreState implements fl.StatefulClient.
+func (s *SignFlip) RestoreState(b []byte) error { return restoreInner(s.Client, b) }
+
+// CaptureState implements fl.StatefulClient.
+func (s *ScaledUpdate) CaptureState() ([]byte, error) { return captureInner(s.Client) }
+
+// RestoreState implements fl.StatefulClient.
+func (s *ScaledUpdate) RestoreState(b []byte) error { return restoreInner(s.Client, b) }
+
+// CaptureState implements fl.StatefulClient.
+func (c *Colluder) CaptureState() ([]byte, error) { return captureInner(c.Client) }
+
+// RestoreState implements fl.StatefulClient.
+func (c *Colluder) RestoreState(b []byte) error { return restoreInner(c.Client, b) }
+
+// CaptureState implements fl.StatefulClient.
+func (l *LabelDrift) CaptureState() ([]byte, error) { return captureInner(l.Client) }
+
+// RestoreState implements fl.StatefulClient.
+func (l *LabelDrift) RestoreState(b []byte) error { return restoreInner(l.Client, b) }
+
+// CaptureState implements fl.StatefulClient.
+func (f *InflateSamples) CaptureState() ([]byte, error) { return captureInner(f.Client) }
+
+// RestoreState implements fl.StatefulClient.
+func (f *InflateSamples) RestoreState(b []byte) error { return restoreInner(f.Client, b) }

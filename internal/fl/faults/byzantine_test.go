@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/fl"
+)
+
+func delta(u fl.Update, global []float64) []float64 {
+	d := make([]float64, len(u.Params))
+	for i := range d {
+		d[i] = u.Params[i] - global[i]
+	}
+	return d
+}
+
+// driftClient returns global + a fixed step, so attack arithmetic is easy
+// to verify exactly.
+type driftClient struct {
+	id   int
+	step []float64
+}
+
+func (c *driftClient) ID() int         { return c.id }
+func (c *driftClient) NumSamples() int { return 10 }
+func (c *driftClient) TrainLocal(_ int, global []float64) (fl.Update, error) {
+	p := make([]float64, len(global))
+	for i := range p {
+		p[i] = global[i] + c.step[i%len(c.step)]
+	}
+	return fl.Update{ClientID: c.id, Params: p, NumSamples: 10, TrainLoss: 1}, nil
+}
+
+func TestSignFlipReversesDelta(t *testing.T) {
+	global := []float64{1, 2, 3}
+	c := NewSignFlip(&driftClient{id: 1, step: []float64{0.5}}, 2, On(1))
+	u, err := c.TrainLocal(0, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range delta(u, global) {
+		if d != 0.5 {
+			t.Fatalf("unscheduled round altered delta[%d] = %v", i, d)
+		}
+	}
+	u, err = c.TrainLocal(1, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range delta(u, global) {
+		if d != -1.0 { // −Scale·(honest delta)
+			t.Fatalf("flipped delta[%d] = %v, want -1.0", i, d)
+		}
+	}
+}
+
+func TestScaledUpdateBoostsDelta(t *testing.T) {
+	global := []float64{0, 0}
+	c := NewScaledUpdate(&driftClient{id: 2, step: []float64{0.1, -0.2}}, 10, nil)
+	u, err := c.TrainLocal(0, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := delta(u, global)
+	if d[0] != 1.0 || d[1] != -2.0 {
+		t.Fatalf("boosted delta = %v, want [1 -2]", d)
+	}
+}
+
+func TestCollusionIsCoordinated(t *testing.T) {
+	global := []float64{0, 0, 0, 0}
+	a := NewColluder(&driftClient{id: 1, step: []float64{0.1}}, 42, 2, nil)
+	b := NewColluder(&driftClient{id: 2, step: []float64{-0.3}}, 42, 2, nil)
+	other := NewColluder(&driftClient{id: 3, step: []float64{0.2}}, 43, 2, nil)
+	ua, err := a.TrainLocal(5, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := b.TrainLocal(5, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → bit-identical fabricated updates, regardless of the inner
+	// client's honest output.
+	for i := range ua.Params {
+		if ua.Params[i] != ub.Params[i] {
+			t.Fatalf("colluders diverged at %d: %v vs %v", i, ua.Params[i], ub.Params[i])
+		}
+	}
+	// Different round → different target (the bloc moves together).
+	ua2, _ := a.TrainLocal(6, global)
+	same := true
+	for i := range ua.Params {
+		if ua.Params[i] != ua2.Params[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("colluder emitted the same target on different rounds")
+	}
+	// Different seed → different bloc.
+	uo, _ := other.TrainLocal(5, global)
+	same = true
+	for i := range ua.Params {
+		if ua.Params[i] != uo.Params[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("unrelated seeds colluded")
+	}
+	// Strength bounds the fabricated coordinates.
+	for i, v := range ua.Params {
+		if math.Abs(v-global[i]) > 2 {
+			t.Fatalf("colluder coordinate %d = %v exceeds strength 2", i, v)
+		}
+	}
+}
+
+func TestLabelDriftIsPersistentAndSubtle(t *testing.T) {
+	global := make([]float64, 8)
+	c := NewLabelDrift(&driftClient{id: 4, step: []float64{0.1}}, 7, 0.5, nil)
+	u1, err := c.TrainLocal(0, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := c.TrainLocal(1, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drift direction is persistent: both rounds are nudged the same
+	// way (honest part identical here, so the deltas match exactly).
+	for i := range u1.Params {
+		if u1.Params[i] != u2.Params[i] {
+			t.Fatalf("drift direction changed between rounds at %d", i)
+		}
+	}
+	// And subtle: the poisoned update stays within ~Strength of honest.
+	honest, _ := (&driftClient{id: 4, step: []float64{0.1}}).TrainLocal(0, global)
+	var honestNorm, attackNorm float64
+	for i := range u1.Params {
+		d := u1.Params[i] - honest.Params[i]
+		attackNorm += d * d
+		h := honest.Params[i] - global[i]
+		honestNorm += h * h
+	}
+	if math.Sqrt(attackNorm) > 0.5*math.Sqrt(honestNorm)*1.01 {
+		t.Fatalf("drift perturbation %.4f exceeds Strength x honest-delta-norm %.4f",
+			math.Sqrt(attackNorm), 0.5*math.Sqrt(honestNorm))
+	}
+}
+
+func TestInflateSamplesLies(t *testing.T) {
+	c := NewInflateSamples(&driftClient{id: 5, step: []float64{0.1}}, 100, On(2))
+	u, _ := c.TrainLocal(0, []float64{0})
+	if u.NumSamples != 10 {
+		t.Fatalf("unscheduled round inflated samples to %d", u.NumSamples)
+	}
+	u, _ = c.TrainLocal(2, []float64{0})
+	if u.NumSamples != 1000 {
+		t.Fatalf("inflated samples = %d, want 1000", u.NumSamples)
+	}
+}
+
+func TestByzantineWrappersStayValid(t *testing.T) {
+	// Byzantine updates must PASS validation — that is the point: they are
+	// attacks the validity checks cannot catch.
+	global := []float64{1, -1, 0.5, 2}
+	inner := &driftClient{id: 6, step: []float64{0.2, -0.1}}
+	for name, c := range map[string]fl.Client{
+		"signflip": NewSignFlip(inner, 3, nil),
+		"scaled":   NewScaledUpdate(inner, 25, nil),
+		"colluder": NewColluder(inner, 9, 1, nil),
+		"drift":    NewLabelDrift(inner, 9, 0.3, nil),
+		"inflate":  NewInflateSamples(inner, 10, nil),
+	} {
+		u, err := c.TrainLocal(0, global)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := fl.ValidateUpdate(u, len(global)); err != nil {
+			t.Fatalf("%s: byzantine update failed validation — wrapper is broken: %v", name, err)
+		}
+	}
+}

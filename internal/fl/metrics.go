@@ -1,8 +1,11 @@
 package fl
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
+	"github.com/cip-fl/cip/internal/fl/robust"
 	"github.com/cip-fl/cip/internal/telemetry"
 )
 
@@ -36,6 +39,23 @@ type Metrics struct {
 	// ClientTrainMillis accumulates per-client local-training wall time in
 	// milliseconds across all rounds (the pool's total busy time).
 	ClientTrainMillis *telemetry.Counter // fl_client_train_milliseconds_total
+	// RobustTrimmed counts client contributions removed from the
+	// aggregate by the robust rule (both trimmed-mean tails plus any
+	// non-finite inputs a rule skipped).
+	RobustTrimmed *telemetry.Counter // fl_robust_trimmed_total
+	// RobustClipped counts updates whose influence was norm-clipped by
+	// the clipped-mean rule.
+	RobustClipped *telemetry.Counter // fl_robust_clipped_total
+	// ClientsQuarantined is the number of clients currently quarantined
+	// by the reputation tracker.
+	ClientsQuarantined *telemetry.Gauge // fl_client_quarantined
+
+	// reg backs the lazily registered per-client anomaly-score gauges
+	// (fl_client_anomaly_score{client="N"}).
+	reg *telemetry.Registry
+	mu  sync.Mutex
+	// anomaly maps client id to its registered score gauge.
+	anomaly map[int]*telemetry.Gauge
 }
 
 // NewMetrics registers the federation metrics on reg. A nil reg returns
@@ -63,6 +83,48 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Fraction of the most recent round's worker-seconds spent training clients."),
 		ClientTrainMillis: reg.Counter("fl_client_train_milliseconds_total",
 			"Accumulated per-client local-training wall time, in milliseconds."),
+		RobustTrimmed: reg.Counter("fl_robust_trimmed_total",
+			"Client contributions removed from aggregates by the robust rule."),
+		RobustClipped: reg.Counter("fl_robust_clipped_total",
+			"Updates whose influence was norm-clipped by the robust rule."),
+		ClientsQuarantined: reg.Gauge("fl_client_quarantined",
+			"Clients currently quarantined by the reputation tracker."),
+		reg: reg,
+	}
+}
+
+// RecordRobust records one round's robust-aggregation report. Nil-safe.
+func (m *Metrics) RecordRobust(rep robust.Report) {
+	if m == nil {
+		return
+	}
+	m.RobustTrimmed.Add(uint64(rep.Trimmed))
+	m.RobustClipped.Add(uint64(rep.Clipped))
+}
+
+// RecordReputation publishes the reputation tracker's current quarantine
+// count and per-client anomaly scores. Per-client gauges are registered
+// lazily as fl_client_anomaly_score{client="N"} — the registry's raw-name
+// exposition renders that as a labeled Prometheus series. Nil-safe on
+// both receiver and tracker.
+func (m *Metrics) RecordReputation(r *robust.Reputation) {
+	if m == nil || r == nil {
+		return
+	}
+	m.ClientsQuarantined.Set(float64(r.QuarantinedCount()))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, rec := range r.Records() {
+		g, ok := m.anomaly[id]
+		if !ok {
+			g = m.reg.Gauge(fmt.Sprintf("fl_client_anomaly_score{client=%q}", fmt.Sprint(id)),
+				"EWMA anomaly score of one client (labeled by client id).")
+			if m.anomaly == nil {
+				m.anomaly = make(map[int]*telemetry.Gauge)
+			}
+			m.anomaly[id] = g
+		}
+		g.Set(rec.Score)
 	}
 }
 

@@ -1,9 +1,12 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/cip-fl/cip/internal/fl/robust"
 )
 
 // FailureReason classifies why a client's contribution to a round was
@@ -22,7 +25,17 @@ const (
 	FailTimeout FailureReason = "timeout"
 	// FailTransport means the client's connection failed mid-round.
 	FailTransport FailureReason = "transport"
+	// FailQuarantined means the client is serving a reputation quarantine
+	// and was excluded from the round before training or exchange.
+	FailQuarantined FailureReason = "quarantined"
 )
+
+// ErrQuorumAfterTrim is wrapped by AggregateRobust when a robust rule's
+// trimming leaves fewer contributors than MinQuorum. The pre-validation
+// quorum check can pass while this fails: n valid updates minus 2·⌊f·n⌋
+// trimmed tails may fall under the quorum, and aggregating anyway would
+// report a round backed by fewer honest inputs than the policy promises.
+var ErrQuorumAfterTrim = errors.New("fl: quorum lost after trim")
 
 // ClientFailure describes one client's failure in one round. Observers that
 // implement FailureObserver receive these so attack analyses (and ops
@@ -56,6 +69,18 @@ type RoundPolicy struct {
 	// stops them from dominating the FedAvg aggregate. 0 disables the
 	// bound.
 	MaxUpdateNorm float64
+	// Robust, when non-nil, replaces the sample-weighted FedAvg mean with
+	// a Byzantine-resilient rule (coordinate-wise median, trimmed mean,
+	// or norm-clipped mean — see internal/fl/robust). Nil keeps plain
+	// Aggregate.
+	Robust robust.Aggregator
+	// Reputation, when non-nil, scores every participant's per-round
+	// anomaly evidence (deviation from the robust aggregate, norm-bound
+	// hits, validation rejections) and enforces its quarantine decisions:
+	// quarantined clients are excluded from rounds before training. The
+	// tracker's state rides in ServerState, so checkpoint/resume does not
+	// amnesty an attacker.
+	Reputation *robust.Reputation
 }
 
 func (p *RoundPolicy) quorum() int {
@@ -118,44 +143,143 @@ func ValidateUpdateBounded(u Update, wantLen int, maxNorm float64) error {
 	return nil
 }
 
-// runRoundQuorum is RunRound under a RoundPolicy: train every participant,
-// drop failures and invalid updates, and aggregate over the surviving
-// quorum.
+// AggregateRobust aggregates valid updates under an optional robust rule.
+// A nil aggregator keeps the legacy sample-weighted FedAvg mean. With a
+// rule attached, the post-trim contributor count is checked against
+// minQuorum (values < 1 mean 1) BEFORE aggregating, surfacing
+// ErrQuorumAfterTrim — the pre-validation count alone can satisfy the
+// quorum while trimming leaves too few real contributors behind.
+func AggregateRobust(agg robust.Aggregator, center []float64, updates []Update,
+	minQuorum int) ([]float64, robust.Report, error) {
+	if agg == nil {
+		out, err := Aggregate(updates)
+		return out, robust.Report{Contributors: len(updates)}, err
+	}
+	if len(updates) == 0 {
+		return nil, robust.Report{}, errors.New("fl: aggregate of zero updates")
+	}
+	if minQuorum < 1 {
+		minQuorum = 1
+	}
+	if c := agg.Contributors(len(updates)); c < minQuorum {
+		return nil, robust.Report{}, fmt.Errorf(
+			"%w: %s keeps %d contributors of %d valid updates, need %d",
+			ErrQuorumAfterTrim, agg.Name(), c, len(updates), minQuorum)
+	}
+	params := make([][]float64, len(updates))
+	weights := make([]float64, len(updates))
+	for i, u := range updates {
+		params[i] = u.Params
+		w := float64(u.NumSamples)
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	out, rep, err := agg.Aggregate(center, params, weights)
+	if err != nil {
+		return nil, rep, fmt.Errorf("fl: %s aggregation: %w", agg.Name(), err)
+	}
+	return out, rep, nil
+}
+
+// splitQuarantined partitions participants into the clients eligible to
+// train this round and the ClientFailure records of those excluded by an
+// active quarantine. With no reputation tracker everything is eligible.
+func (p *RoundPolicy) splitQuarantined(round int, participants []Client) ([]Client, []ClientFailure) {
+	if p.Reputation == nil {
+		return participants, nil
+	}
+	eligible := make([]Client, 0, len(participants))
+	var excluded []ClientFailure
+	for _, c := range participants {
+		if p.Reputation.Blocked(c.ID()) {
+			excluded = append(excluded, ClientFailure{
+				ClientID: c.ID(), Round: round, Reason: FailQuarantined,
+				Err: fmt.Errorf("fl: client %d is quarantined", c.ID()),
+			})
+			continue
+		}
+		eligible = append(eligible, c)
+	}
+	return eligible, excluded
+}
+
+// scoreRound feeds one completed round into the reputation tracker: each
+// valid client's distance from the aggregate, then the round-boundary
+// EWMA fold and state-machine advance over every non-quarantined
+// participant. Violations (norm/validation rejections) were already
+// observed during classification.
+func (p *RoundPolicy) scoreRound(agg []float64, valid []Update, failures []ClientFailure) {
+	rep := p.Reputation
+	if rep == nil {
+		return
+	}
+	ids := make([]int, len(valid))
+	params := make([][]float64, len(valid))
+	for i, u := range valid {
+		ids[i] = u.ClientID
+		params[i] = u.Params
+	}
+	rep.ObserveDeviations(ids, robust.Distances(agg, params))
+	roundIDs := ids
+	for _, f := range failures {
+		if f.Reason != FailQuarantined {
+			roundIDs = append(roundIDs, f.ClientID)
+		}
+	}
+	rep.EndRound(roundIDs)
+}
+
+// runRoundQuorum is RunRound under a RoundPolicy: exclude quarantined
+// clients, train every eligible participant, drop failures and invalid
+// updates, and aggregate over the surviving quorum — robustly when a
+// Byzantine-resilient rule is attached.
 func (s *Server) runRoundQuorum(round int, start time.Time, participants []Client) error {
-	outcomes, workers, busy := s.trainParticipants(round, participants)
+	eligible, failures := s.Policy.splitQuarantined(round, participants)
+	outcomes, workers, busy := s.trainParticipants(round, eligible)
 	// Classify outcomes serially in participant order, so the valid and
-	// failure lists (and everything downstream: observers, aggregation)
-	// are independent of worker interleaving.
-	valid := make([]Update, 0, len(participants))
-	var failures []ClientFailure
-	for i, c := range participants {
+	// failure lists (and everything downstream: observers, aggregation,
+	// reputation) are independent of worker interleaving.
+	valid := make([]Update, 0, len(eligible))
+	hardFailures := 0
+	for i, c := range eligible {
 		if err := outcomes[i].err; err != nil {
 			failures = append(failures, ClientFailure{
 				ClientID: c.ID(), Round: round, Reason: FailTrain, Err: err,
 			})
+			hardFailures++
 			continue
 		}
 		u := outcomes[i].update
 		if err := ValidateUpdateBounded(u, len(s.global), s.Policy.MaxUpdateNorm); err != nil {
 			s.Metrics.RecordValidationRejection()
+			if s.Policy.Reputation != nil {
+				s.Policy.Reputation.ObserveViolation(c.ID())
+			}
 			failures = append(failures, ClientFailure{
 				ClientID: c.ID(), Round: round, Reason: FailInvalid, Err: err,
 			})
+			hardFailures++
 			continue
 		}
 		valid = append(valid, u)
 	}
-	if len(failures) > 0 {
+	if hardFailures > 0 {
 		if s.failCounts == nil {
 			s.failCounts = make(map[int]int)
 		}
 		for _, f := range failures {
-			s.failCounts[f.ClientID]++
+			// Quarantine exclusions are policy decisions, not client
+			// failures; only genuine failures feed the cumulative counts.
+			if f.Reason != FailQuarantined {
+				s.failCounts[f.ClientID]++
+			}
 		}
 	}
-	if cap := s.Policy.MaxFailures; cap > 0 && len(failures) > cap {
+	if cap := s.Policy.MaxFailures; cap > 0 && hardFailures > cap {
 		return fmt.Errorf("fl: round %d: %d client failures exceed cap %d",
-			round, len(failures), cap)
+			round, hardFailures, cap)
 	}
 	if q := s.Policy.quorum(); len(valid) < q {
 		return fmt.Errorf("fl: round %d: quorum lost: %d valid updates from %d participants, need %d",
@@ -169,12 +293,15 @@ func (s *Server) runRoundQuorum(round int, start time.Time, participants []Clien
 	for _, o := range s.Observers {
 		o.ObserveRound(round, s.Global(), valid)
 	}
-	agg, err := Aggregate(valid)
+	agg, report, err := AggregateRobust(s.Policy.Robust, s.global, valid, s.Policy.quorum())
 	if err != nil {
 		return fmt.Errorf("fl: round %d: %w", round, err)
 	}
+	s.Policy.scoreRound(agg, valid, failures)
 	s.global = agg
 	s.Metrics.RecordRound(start, len(valid), len(failures), len(agg))
+	s.Metrics.RecordRobust(report)
+	s.Metrics.RecordReputation(s.Policy.Reputation)
 	s.Metrics.RecordWorkerPool(workers, busy, time.Since(start))
 	return nil
 }

@@ -1,0 +1,130 @@
+package secagg
+
+// Dropout coverage: what happens to pairwise masking when a client vanishes
+// mid-round. The invariant under test is the satellite's: the masked sum
+// must cancel (after residual correction) or the round must abort cleanly —
+// a partial masked aggregate must never be used silently.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/faults"
+)
+
+func dropoutRoster(t *testing.T, rng *rand.Rand, k, dim int) ([]fl.Client, []float64) {
+	t.Helper()
+	inner := make([]fl.Client, k)
+	mean := make([]float64, dim)
+	for i := 0; i < k; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+			mean[j] += p[j] / float64(k)
+		}
+		inner[i] = &echoClient{id: i, params: p}
+	}
+	wrapped, err := Wrap(7, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wrapped, mean
+}
+
+// A dropped client leaves ~maskScale-amplitude residue in the naive masked
+// mean, and subtracting Residual restores exact-to-rounding cancellation.
+func TestDropoutResidualRestoresCancellation(t *testing.T) {
+	const k, dim, round = 5, 40, 3
+	rng := rand.New(rand.NewSource(9))
+	wrapped, _ := dropoutRoster(t, rng, k, dim)
+
+	survivors := []int{0, 1, 3, 4} // client 2 dropped
+	updates := make([]fl.Update, 0, k-1)
+	for _, id := range survivors {
+		u, err := wrapped[id].TrainLocal(round, make([]float64, dim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, u)
+	}
+	naive, err := fl.Aggregate(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivor-only honest mean, for reference.
+	wantMean := make([]float64, dim)
+	for _, id := range survivors {
+		ec := wrapped[id].(*Client).Inner.(*echoClient)
+		for j := range wantMean {
+			wantMean[j] += ec.params[j] / float64(len(survivors))
+		}
+	}
+
+	// Naive aggregation over the partial roster is badly skewed — this is
+	// the silent corruption the round must never ship.
+	var worst float64
+	for j := range naive {
+		if d := math.Abs(naive[j] - wantMean[j]); d > worst {
+			worst = d
+		}
+	}
+	if worst < 1 {
+		t.Fatalf("dropout left max skew %.3g; expected mask-scale residue — "+
+			"is the test roster actually masked?", worst)
+	}
+
+	// Residual-corrected aggregation cancels to numerical noise.
+	seeds := wrapped[0].(*Client).Seeds
+	res := seeds.Residual(survivors, round, dim)
+	for j := range naive {
+		naive[j] -= res[j] / float64(len(survivors))
+	}
+	for j := range naive {
+		if d := math.Abs(naive[j] - wantMean[j]); d > 1e-9 {
+			t.Fatalf("corrected aggregate off by %.3g at coordinate %d", d, j)
+		}
+	}
+}
+
+// With every client present the residual is zero: all pairs cancel.
+func TestResidualZeroWithFullRoster(t *testing.T) {
+	const k, dim = 4, 16
+	seeds := NewPairwiseSeeds(3, k)
+	res := seeds.Residual([]int{0, 1, 2, 3}, 5, dim)
+	for j, v := range res {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("full-roster residual %.3g at coordinate %d, want 0", v, j)
+		}
+	}
+}
+
+// A full-roster quorum (MinQuorum = n) makes a mid-round dropout abort the
+// round cleanly: the run fails with a quorum error and the global stays at
+// its pre-round value — never a silently skewed masked aggregate.
+func TestDropoutAbortsUnderFullRosterQuorum(t *testing.T) {
+	const k, dim = 4, 12
+	rng := rand.New(rand.NewSource(4))
+	wrapped, _ := dropoutRoster(t, rng, k, dim)
+	// Client 2 crashes on round 1 (round 0 completes normally).
+	wrapped[2] = faults.NewFlaky(wrapped[2], faults.On(1))
+
+	initial := make([]float64, dim)
+	srv := fl.NewServer(initial, wrapped...)
+	srv.Policy = &fl.RoundPolicy{MinQuorum: k}
+	if err := srv.RunRound(0); err != nil {
+		t.Fatalf("full-roster round 0: %v", err)
+	}
+	afterRound0 := srv.Global()
+	err := srv.RunRound(1)
+	if err == nil {
+		t.Fatal("dropout round aggregated under a full-roster quorum")
+	}
+	for j, v := range srv.Global() {
+		if v != afterRound0[j] {
+			t.Fatalf("aborted round moved global[%d]: %v -> %v", j, afterRound0[j], v)
+		}
+	}
+}

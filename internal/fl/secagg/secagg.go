@@ -68,6 +68,24 @@ func (ps *PairwiseSeeds) maskFor(id, round, dim int) []float64 {
 // maskScale sets the mask amplitude relative to typical parameter values.
 const maskScale = 100.0
 
+// Residual returns the summed mask residue left in an aggregate when only
+// the listed survivors' masked updates reach the server: pairwise masks
+// between two survivors cancel in the sum, but each (survivor, dropped)
+// pair leaves its full-amplitude mask behind, silently skewing the round
+// by ~maskScale per missing pair. The coordinator must either subtract
+// this residual before averaging (the trusted-setup analogue of Bonawitz's
+// unmasking round, where survivors reconstruct dropped clients' seeds) or
+// abort the round via a full-roster quorum — never aggregate as-is.
+func (ps *PairwiseSeeds) Residual(survivors []int, round, dim int) []float64 {
+	res := make([]float64, dim)
+	for _, id := range survivors {
+		for k, v := range ps.maskFor(id, round, dim) {
+			res[k] += v
+		}
+	}
+	return res
+}
+
 // Client wraps an fl.Client so its reported parameters are masked.
 // Masking requires unweighted averaging (the pairwise masks cancel in a
 // plain sum), so all participants must hold equally sized shards — the

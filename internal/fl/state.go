@@ -44,6 +44,12 @@ type ServerState struct {
 	// FailCounts is the cumulative per-client failure count recorded under
 	// a RoundPolicy (nil when no failures were recorded).
 	FailCounts map[int]int
+	// Reputation is the serialized reputation tracker (anomaly scores and
+	// quarantine states) when the policy runs one; nil otherwise. Older
+	// snapshots without the field decode with it nil — gob tolerates the
+	// addition — and restore with a fresh tracker. Persisting it is what
+	// keeps a restart from amnestying a quarantined attacker.
+	Reputation []byte
 	// Clients maps client ID to its captured local-state blob.
 	Clients map[int][]byte
 }
@@ -72,6 +78,13 @@ func (s *Server) CaptureState() (*ServerState, error) {
 		for id, n := range s.failCounts {
 			st.FailCounts[id] = n
 		}
+	}
+	if s.Policy != nil && s.Policy.Reputation != nil {
+		blob, err := s.Policy.Reputation.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("fl: capturing reputation state: %w", err)
+		}
+		st.Reputation = blob
 	}
 	for _, c := range s.Clients {
 		sc, ok := c.(StatefulClient)
@@ -114,6 +127,11 @@ func (s *Server) RestoreState(st *ServerState) error {
 		}
 		if err := sc.RestoreState(blob); err != nil {
 			return fmt.Errorf("fl: restoring client %d state: %w", id, err)
+		}
+	}
+	if st.Reputation != nil && s.Policy != nil && s.Policy.Reputation != nil {
+		if err := s.Policy.Reputation.Restore(st.Reputation); err != nil {
+			return fmt.Errorf("fl: restoring reputation state: %w", err)
 		}
 	}
 	copy(s.global, st.Global)

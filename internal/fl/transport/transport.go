@@ -52,6 +52,8 @@ import (
 
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/checkpoint"
+	"github.com/cip-fl/cip/internal/fl/robust"
+	"github.com/cip-fl/cip/internal/rng"
 	"github.com/cip-fl/cip/internal/telemetry"
 )
 
@@ -158,6 +160,18 @@ type Coordinator struct {
 	// MaxUpdateNorm, when > 0, rejects updates whose L2 norm exceeds it
 	// (counted as validation rejections). 0 disables the bound.
 	MaxUpdateNorm float64
+	// Robust, when non-nil, replaces the sample-weighted FedAvg mean with
+	// a Byzantine-resilient rule (internal/fl/robust). When the rule
+	// trims, the post-trim contributor count is checked against MinQuorum
+	// (fl.ErrQuorumAfterTrim).
+	Robust robust.Aggregator
+	// Reputation, when non-nil, scores per-client anomaly evidence and
+	// enforces quarantine on the wire: quarantined clients receive no
+	// round message (their connection stays open, so a later probation
+	// re-admits them) and contribute nothing to the aggregate. The
+	// tracker's state is persisted in the coordinator snapshot, so a
+	// restart does not amnesty an attacker.
+	Reputation *robust.Reputation
 
 	// Checkpoint, when non-nil, makes the federation durable: a snapshot
 	// of the coordinator state is written through it at the
@@ -405,6 +419,11 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		for id, n := range st.FailCounts {
 			failCounts[id] = n
 		}
+		if c.Reputation != nil && st.Reputation != nil {
+			if err := c.Reputation.Restore(st.Reputation); err != nil {
+				return nil, fmt.Errorf("transport: restoring reputation state: %w", err)
+			}
+		}
 	} else if c.Checkpoint != nil {
 		t, err := newToken()
 		if err != nil {
@@ -430,6 +449,13 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			for id, n := range failCounts {
 				snap.State.FailCounts[id] = n
 			}
+		}
+		if c.Reputation != nil {
+			blob, err := c.Reputation.Snapshot()
+			if err != nil {
+				return fmt.Errorf("transport: capturing reputation state: %w", err)
+			}
+			snap.State.Reputation = blob
 		}
 		if err := c.Checkpoint.Save(snap); err != nil {
 			return fmt.Errorf("transport: checkpoint after round %d: %w", nextRound-1, err)
@@ -463,10 +489,30 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 
 	for round := startRound; round < c.Rounds; round++ {
 		roundStart := time.Now()
-		updates := make([]fl.Update, len(active))
-		errs := make([]error, len(active))
+		// Quarantined clients are skipped for the round: no round message,
+		// no update, no influence. Their connections stay open so a later
+		// probation can re-admit them without a reconnect.
+		exchangers := active
+		var blocked []*clientConn
+		var failures []fl.ClientFailure
+		if c.Reputation != nil {
+			exchangers = make([]*clientConn, 0, len(active))
+			for _, cc := range active {
+				if c.Reputation.Blocked(cc.id) {
+					blocked = append(blocked, cc)
+					failures = append(failures, fl.ClientFailure{
+						ClientID: cc.id, Round: round, Reason: fl.FailQuarantined,
+						Err: fmt.Errorf("transport: client %d is quarantined", cc.id),
+					})
+					continue
+				}
+				exchangers = append(exchangers, cc)
+			}
+		}
+		updates := make([]fl.Update, len(exchangers))
+		errs := make([]error, len(exchangers))
 		var wg sync.WaitGroup
-		for i, cc := range active {
+		for i, cc := range exchangers {
 			wg.Add(1)
 			go func(i int, cc *clientConn) {
 				defer wg.Done()
@@ -476,10 +522,9 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		}
 		wg.Wait()
 
-		valid := make([]fl.Update, 0, len(active))
-		survivors := make([]*clientConn, 0, len(active))
-		var failures []fl.ClientFailure
-		for i, cc := range active {
+		valid := make([]fl.Update, 0, len(exchangers))
+		survivors := make([]*clientConn, 0, len(exchangers))
+		for i, cc := range exchangers {
 			if err := errs[i]; err != nil {
 				if !c.faultTolerant() {
 					return nil, err
@@ -491,6 +536,9 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 					c.Metrics.stragglerDropped()
 				case fl.FailInvalid:
 					c.RoundMetrics.RecordValidationRejection()
+					if c.Reputation != nil {
+						c.Reputation.ObserveViolation(cc.id)
+					}
 				}
 				failures = append(failures, fl.ClientFailure{
 					ClientID: cc.id, Round: round, Reason: reason, Err: err,
@@ -501,7 +549,8 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			valid = append(valid, updates[i])
 			survivors = append(survivors, cc)
 		}
-		active = survivors
+		active = append(survivors, blocked...)
+		sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 		if len(valid) < c.quorum() {
 			return nil, fmt.Errorf("transport: round %d: quorum lost: %d valid updates, need %d",
 				round, len(valid), c.quorum())
@@ -517,12 +566,30 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		for _, o := range c.Observers {
 			o.ObserveRound(round, snapshot, valid)
 		}
-		agg, err := fl.Aggregate(valid)
+		agg, report, err := fl.AggregateRobust(c.Robust, global, valid, c.MinQuorum)
 		if err != nil {
 			return nil, fmt.Errorf("transport: round %d: %w", round, err)
 		}
+		if c.Reputation != nil {
+			ids := make([]int, len(valid))
+			params := make([][]float64, len(valid))
+			for i, u := range valid {
+				ids[i] = u.ClientID
+				params[i] = u.Params
+			}
+			c.Reputation.ObserveDeviations(ids, robust.Distances(agg, params))
+			roundIDs := ids
+			for _, f := range failures {
+				if f.Reason != fl.FailQuarantined {
+					roundIDs = append(roundIDs, f.ClientID)
+				}
+			}
+			c.Reputation.EndRound(roundIDs)
+		}
 		global = agg
 		c.RoundMetrics.RecordRound(roundStart, len(valid), len(failures), len(agg))
+		c.RoundMetrics.RecordRobust(report)
+		c.RoundMetrics.RecordReputation(c.Reputation)
 
 		wrote := false
 		if c.Checkpoint != nil && ((round+1)%every == 0 || round == c.Rounds-1) {
@@ -574,8 +641,12 @@ type RetryConfig struct {
 	// Jitter randomizes each delay multiplicatively in
 	// [1-Jitter, 1+Jitter]; 0 defaults to 0.2, negative disables jitter.
 	Jitter float64
-	// Rng drives the jitter; nil uses a fixed seed. Do not share one Rng
-	// between concurrently retrying clients.
+	// JitterSrc is the injectable randomness behind the jitter — an
+	// internal/rng SplitMix64 source, so tests can seed (and if need be
+	// serialize) the exact backoff schedule. Nil uses seed 1. Do not share
+	// one source between concurrently retrying clients.
+	JitterSrc *rng.Source
+	// Rng, when non-nil, overrides JitterSrc entirely (legacy hook).
 	Rng *rand.Rand
 	// Dial overrides the dialer (fault-injection hook); nil dials TCP.
 	Dial func(addr string) (net.Conn, error)
@@ -605,7 +676,10 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 		rc.Jitter = 0
 	}
 	if rc.Rng == nil {
-		rc.Rng = rand.New(rand.NewSource(1))
+		if rc.JitterSrc == nil {
+			rc.JitterSrc = rng.NewSource(1)
+		}
+		rc.Rng = rand.New(rc.JitterSrc)
 	}
 	if rc.Dial == nil {
 		rc.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
