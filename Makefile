@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke check
+.PHONY: build test race vet fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke wirecheck benchwire check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeUpdate -fuzztime=$(FUZZTIME) ./internal/fl/transport
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/fl/checkpoint
 	$(GO) test -run='^$$' -fuzz=FuzzRobustAggregate -fuzztime=$(FUZZTIME) ./internal/fl/robust
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/fl/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecompressUpdate -fuzztime=$(FUZZTIME) ./internal/fl/wire
 
 # bench regenerates the tracked perf report against the committed seed
 # baseline. The same workloads run under plain `go test -bench` in
@@ -89,7 +91,28 @@ benchrobust:
 benchsmoke:
 	$(GO) run ./cmd/cipbench -bench MatMulTransB128 -baseline BENCH_SEED.json >/dev/null
 
+# wirecheck is the wire-path conformance sweep: golden byte-exact frame
+# fixtures, the codec/compression unit and property suites, the
+# gob↔binary negotiation matrix and compressed e2e/restart tests, short
+# fuzz bursts over both frame decoders, and the bench-backed wire gate
+# (≥10x byte reduction for topk8 vs gob, binary decode no slower).
+wirecheck:
+	$(GO) test -count=1 ./internal/fl/wire ./internal/fl/compress
+	$(GO) test -count=1 -run 'Sparse|Densify|Codec|Compressed|MixedRoster|Bank' \
+		./internal/fl ./internal/fl/transport ./internal/fl/checkpoint
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/fl/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecompressUpdate -fuzztime=5s ./internal/fl/wire
+	$(GO) run ./cmd/cipbench -bench Wire -wire-gate >/dev/null
+
+# benchwire regenerates the tracked wire-path report: decode ns/op and
+# wire bytes per update for gob vs binary vs compressed, with the same
+# gate wirecheck holds.
+benchwire:
+	$(GO) run ./cmd/cipbench -bench Wire -wire-gate \
+		-bench-out BENCH_PR7.json \
+		-bench-note "binary update codec + load-bearing compression PR: decode cost and bytes/update vs gob"
+
 # check is the full CI gate: static analysis, the race-enabled suite, a
-# short fuzz burst, the crash-harness smoke, the byzantine smoke, and the
-# bench-harness smoke.
-check: vet race fuzz chaossmoke byzsmoke benchsmoke
+# short fuzz burst, the crash-harness smoke, the byzantine smoke, the
+# wire-path conformance sweep, and the bench-harness smoke.
+check: vet race fuzz chaossmoke byzsmoke wirecheck benchsmoke

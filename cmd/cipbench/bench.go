@@ -23,11 +23,14 @@ type benchNumbers struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops,omitempty"`
+	// WireBytesPerOp is the per-update transfer size the wire workloads
+	// report (b.ReportMetric "wire-bytes/op"); 0 for non-wire workloads.
+	WireBytesPerOp float64 `json:"wire_bytes_per_op,omitempty"`
 }
 
 // benchResult is one workload's entry in the report.
 type benchResult struct {
-	Op      string        `json:"op"`
+	Op string `json:"op"`
 	benchNumbers
 	Before  *benchNumbers `json:"before,omitempty"`
 	Speedup float64       `json:"speedup,omitempty"`
@@ -61,7 +64,38 @@ func loadBaseline(path string) (map[string]benchNumbers, error) {
 	return out, nil
 }
 
-func runBench(filter, baselinePath, outPath, note string) error {
+// wireGate enforces the wire-path regression lines on a finished report:
+// the headline compressed mode must move ≥10x fewer bytes per update than
+// the gob baseline, and the binary decoder must be no slower than gob's.
+func wireGate(rep *benchReport) error {
+	byOp := make(map[string]benchNumbers, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byOp[b.Op] = b.benchNumbers
+	}
+	gob, okG := byOp["WireGobDecode"]
+	bin, okB := byOp["WireBinaryDecode"]
+	topk8, okT := byOp["WireTopK8Decode"]
+	if !okG || !okB || !okT {
+		return fmt.Errorf("wire gate needs WireGobDecode, WireBinaryDecode, and WireTopK8Decode in the run (filter too narrow?)")
+	}
+	if topk8.WireBytesPerOp <= 0 || gob.WireBytesPerOp <= 0 {
+		return fmt.Errorf("wire gate: missing wire-bytes/op metrics")
+	}
+	ratio := gob.WireBytesPerOp / topk8.WireBytesPerOp
+	if ratio < 10 {
+		return fmt.Errorf("wire gate: topk8 moves %.0f B/update vs gob's %.0f — %.1fx reduction, need ≥10x",
+			topk8.WireBytesPerOp, gob.WireBytesPerOp, ratio)
+	}
+	if bin.NsPerOp > gob.NsPerOp {
+		return fmt.Errorf("wire gate: binary decode %.0f ns/op is slower than gob's %.0f ns/op",
+			bin.NsPerOp, gob.NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "wire gate: %.1fx byte reduction (topk8 vs gob), binary decode %.2fx faster than gob\n",
+		ratio, gob.NsPerOp/bin.NsPerOp)
+	return nil
+}
+
+func runBench(filter, baselinePath, outPath, note string, gate bool) error {
 	base, err := loadBaseline(baselinePath)
 	if err != nil {
 		return err
@@ -80,9 +114,10 @@ func runBench(filter, baselinePath, outPath, note string) error {
 			return fmt.Errorf("benchmark %s failed to run", s.Name)
 		}
 		res := benchResult{Op: s.Name, benchNumbers: benchNumbers{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			WireBytesPerOp: r.Extra["wire-bytes/op"],
 		}}
 		if s.FLOPs > 0 && res.NsPerOp > 0 {
 			res.GFLOPS = s.FLOPs / res.NsPerOp // FLOP/ns == GFLOP/s
@@ -99,6 +134,9 @@ func runBench(filter, baselinePath, outPath, note string) error {
 		if res.GFLOPS > 0 {
 			line += fmt.Sprintf("  %6.2f GFLOP/s", res.GFLOPS)
 		}
+		if res.WireBytesPerOp > 0 {
+			line += fmt.Sprintf("  %10.0f wire-B/op", res.WireBytesPerOp)
+		}
 		if res.Speedup > 0 {
 			line += fmt.Sprintf("  %5.2fx vs baseline", res.Speedup)
 		}
@@ -107,6 +145,11 @@ func runBench(filter, baselinePath, outPath, note string) error {
 	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no tracked benchmark matches %q", filter)
+	}
+	if gate {
+		if err := wireGate(&rep); err != nil {
+			return err
+		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -39,10 +39,13 @@ func run() error {
 	baseline := flag.String("baseline", "",
 		"previous bench report whose numbers become each op's 'before'")
 	benchNote := flag.String("bench-note", "", "free-form note embedded in the bench report")
+	wireGateFlag := flag.Bool("wire-gate", false,
+		"enforce the wire-path lines on the bench run: ≥10x byte reduction for topk8 vs gob "+
+			"and binary decode no slower than gob")
 	flag.Parse()
 
 	if *benchFilter != "" {
-		return runBench(*benchFilter, *baseline, *benchOut, *benchNote)
+		return runBench(*benchFilter, *baseline, *benchOut, *benchNote, *wireGateFlag)
 	}
 
 	if *list || *exp == "" {

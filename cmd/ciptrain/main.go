@@ -62,6 +62,7 @@ func run() error {
 	quorum := flag.Int("quorum", 0,
 		"minimum valid updates per round; >0 enables quorum-based partial aggregation")
 	robustFlags := flcli.RegisterRobustFlags()
+	compressFlags := flcli.RegisterCompressFlags()
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
@@ -97,11 +98,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	bank, err := compressFlags.Bank()
+	if err != nil {
+		return err
+	}
 	var policy *fl.RoundPolicy
-	if robustAgg != nil || reputation != nil || *quorum > 0 {
-		policy = &fl.RoundPolicy{MinQuorum: *quorum, Robust: robustAgg, Reputation: reputation}
+	if robustAgg != nil || reputation != nil || *quorum > 0 || bank != nil {
+		policy = &fl.RoundPolicy{MinQuorum: *quorum, Robust: robustAgg, Reputation: reputation,
+			Compress: bank}
 		if robustAgg != nil {
 			fmt.Printf("robust aggregation: %s\n", robustAgg.Name())
+		}
+		if bank != nil {
+			fmt.Printf("update compression: %s (error-feedback residuals ride the checkpoint)\n",
+				bank.Cfg.Mode)
 		}
 	}
 	a, err := experiments.TrainArtifactDurable(p, scale, *seed, *clients, *rounds, *alpha, reg, spec, policy)

@@ -57,8 +57,13 @@ func run() error {
 	maxUpdateNorm := flag.Float64("max-update-norm", 0,
 		"reject client updates whose L2 norm exceeds this; 0 disables the bound")
 	robustFlags := flcli.RegisterRobustFlags()
+	codecFlag := flcli.RegisterCodecFlag()
 	flag.Parse()
 
+	codec, err := flcli.ParseCodec(*codecFlag)
+	if err != nil {
+		return err
+	}
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
 	if err != nil {
 		return err
@@ -89,6 +94,7 @@ func run() error {
 		RoundTimeout:  *roundTimeout,
 		AcceptWindow:  *acceptWindow,
 		MaxUpdateNorm: *maxUpdateNorm,
+		Codec:         codec,
 		Robust:        robustAgg,
 		Reputation:    reputation,
 		Metrics:       transport.NewMetrics(reg),
@@ -96,6 +102,9 @@ func run() error {
 	}
 	if robustAgg != nil {
 		fmt.Printf("robust aggregation: %s\n", robustAgg.Name())
+	}
+	if codec != "" {
+		fmt.Printf("wire codec: %s (clients negotiate per-connection; compression follows their offer)\n", codec)
 	}
 	if *ckptPath != "" {
 		coord.Checkpoint = &checkpoint.Manager{Path: *ckptPath, Metrics: checkpoint.NewMetrics(reg)}

@@ -5,11 +5,6 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
-
-	"github.com/cip-fl/cip/internal/datasets"
-	"github.com/cip-fl/cip/internal/fl"
-	"github.com/cip-fl/cip/internal/model"
-	"github.com/cip-fl/cip/internal/nn"
 )
 
 func TestEncodeDecodeBoundedError(t *testing.T) {
@@ -95,75 +90,5 @@ func TestCompressedBits(t *testing.T) {
 	}
 	if got := z.CompressedBits(); got != 800 {
 		t.Fatalf("CompressedBits = %d, want 800", got)
-	}
-}
-
-// quantizingClient wraps a client and quantizes its reported update — the
-// deployment where bandwidth matters.
-type quantizingClient struct {
-	inner fl.Client
-	bits  int
-}
-
-func (c *quantizingClient) ID() int         { return c.inner.ID() }
-func (c *quantizingClient) NumSamples() int { return c.inner.NumSamples() }
-func (c *quantizingClient) TrainLocal(round int, global []float64) (fl.Update, error) {
-	u, err := c.inner.TrainLocal(round, global)
-	if err != nil {
-		return fl.Update{}, err
-	}
-	z, err := Quantizer{Bits: c.bits}.Encode(u.Params)
-	if err != nil {
-		return fl.Update{}, err
-	}
-	u.Params = z.Decode() // simulate the server-side reconstruction
-	return u, nil
-}
-
-// TestFedAvgSurvives8BitQuantization: with 10-bit updates the federated
-// model's accuracy stays close to the uncompressed run while the payload
-// shrinks ~6x vs float64.
-func TestFedAvgSurvivesQuantization(t *testing.T) {
-	train, test, err := datasets.SyntheticImages(datasets.ImageConfig{
-		Classes: 4, Train: 80, Test: 80, C: 1, H: 6, W: 6,
-		Signal: 0.5, Noise: 0.2, Seed: 9,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	const k, rounds = 2, 30
-	build := func() nn.Layer {
-		return model.NewClassifier(rand.New(rand.NewSource(3)), model.VGG,
-			train.In, train.NumClasses)
-	}
-	run := func(quantBits int) float64 {
-		shards := datasets.PartitionIID(train, k, rand.New(rand.NewSource(4)))
-		clients := make([]fl.Client, k)
-		for i := 0; i < k; i++ {
-			var c fl.Client = fl.NewLegacyClient(i, build(), shards[i], fl.ClientConfig{
-				BatchSize: 16, LR: func(int) float64 { return 0.04 }, Momentum: 0.9,
-			}, nil, rand.New(rand.NewSource(int64(30+i))))
-			if quantBits > 0 {
-				c = &quantizingClient{inner: c, bits: quantBits}
-			}
-			clients[i] = c
-		}
-		net := build()
-		srv := fl.NewServer(nn.FlattenParams(net.Params()), clients...)
-		if err := srv.Run(rounds); err != nil {
-			t.Fatal(err)
-		}
-		if err := nn.SetFlatParams(net.Params(), srv.Global()); err != nil {
-			t.Fatal(err)
-		}
-		return fl.Evaluate(net, test, 64)
-	}
-	full := run(0)
-	quant := run(10)
-	if full < 0.5 {
-		t.Fatalf("setup: uncompressed federation should learn, got %v", full)
-	}
-	if quant < full-0.15 {
-		t.Fatalf("10-bit quantization cost too much accuracy: %v vs %v", quant, full)
 	}
 }

@@ -20,17 +20,40 @@ import (
 )
 
 // Update is what a client returns from one round of local training.
+//
+// The canonical shape is dense: Params holds the full post-training
+// parameter vector and Indices/DenseLen/IsDelta are zero. The binary wire
+// path additionally produces compressed shapes — sparse (Indices non-nil:
+// Params holds only the coordinates named by Indices) and/or delta
+// (IsDelta: values are offsets from the round's broadcast global rather
+// than raw parameters). Compressed updates exist only between decode and
+// Densify; Aggregate and the robust folds accept dense raw updates
+// exclusively and reject anything else with an explicit error.
 type Update struct {
 	// ClientID identifies the producing client (filled in by the server).
 	ClientID int
-	// Params is the client's post-training flat parameter vector.
+	// Params is the client's post-training flat parameter vector — or,
+	// for a sparse update, the values of the coordinates in Indices.
 	Params []float64
 	// NumSamples weights this client in the FedAvg aggregate.
 	NumSamples int
 	// TrainLoss is the client's mean local training loss this round;
 	// Fig. 7's EMD heterogeneity measure is computed over these.
 	TrainLoss float64
+	// Indices, when non-nil, marks the update sparse: Params[j] is the
+	// value at dense coordinate Indices[j]. Indices must be strictly
+	// ascending and in [0, DenseLen).
+	Indices []int
+	// DenseLen is the dense vector length a sparse update expands to.
+	DenseLen int
+	// IsDelta marks Params as offsets from the broadcast global
+	// parameters instead of raw post-training values.
+	IsDelta bool
 }
+
+// Sparse reports whether the update is in a compressed (sparse or delta)
+// shape that must be densified before aggregation.
+func (u Update) Sparse() bool { return u.Indices != nil || u.IsDelta }
 
 // Client is one federated-learning participant.
 type Client interface {
@@ -203,6 +226,13 @@ func Aggregate(updates []Update) ([]float64, error) {
 	out := make([]float64, len(updates[0].Params))
 	total := 0.0
 	for _, u := range updates {
+		if u.Sparse() {
+			// A sparse or delta update folded as if it were dense would
+			// silently misweight every coordinate; demand an explicit
+			// Densify step instead.
+			return nil, fmt.Errorf("fl: aggregate: client %d update is sparse/delta; densify before aggregation",
+				u.ClientID)
+		}
 		if len(u.Params) != len(out) {
 			return nil, fmt.Errorf("fl: aggregate: client %d update has %d params, want %d",
 				u.ClientID, len(u.Params), len(out))

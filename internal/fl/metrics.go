@@ -49,6 +49,15 @@ type Metrics struct {
 	// ClientsQuarantined is the number of clients currently quarantined
 	// by the reputation tracker.
 	ClientsQuarantined *telemetry.Gauge // fl_client_quarantined
+	// CompressedUpdates counts updates that crossed the compressed wire
+	// path (top-k / quantized, with error feedback).
+	CompressedUpdates *telemetry.Counter // fl_compressed_updates_total
+	// CompressedBytes accumulates the wire-body bytes of compressed
+	// updates (what actually crossed, not the dense equivalent).
+	CompressedBytes *telemetry.Counter // fl_compressed_bytes_total
+	// CompressionRatio is the dense-bytes / wire-bytes ratio of the most
+	// recent compressed update.
+	CompressionRatio *telemetry.Gauge // fl_compression_ratio
 
 	// reg backs the lazily registered per-client anomaly-score gauges
 	// (fl_client_anomaly_score{client="N"}).
@@ -89,7 +98,27 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Updates whose influence was norm-clipped by the robust rule."),
 		ClientsQuarantined: reg.Gauge("fl_client_quarantined",
 			"Clients currently quarantined by the reputation tracker."),
+		CompressedUpdates: reg.Counter("fl_compressed_updates_total",
+			"Updates carried over the compressed wire path."),
+		CompressedBytes: reg.Counter("fl_compressed_bytes_total",
+			"Wire-body bytes of compressed updates."),
+		CompressionRatio: reg.Gauge("fl_compression_ratio",
+			"Dense-bytes / wire-bytes ratio of the most recent compressed update."),
 		reg: reg,
+	}
+}
+
+// RecordCompressedUpdate records one update crossing the compressed wire
+// path: the bytes its compressed body occupies and the dense-equivalent
+// byte count it replaced. Nil-safe.
+func (m *Metrics) RecordCompressedUpdate(wireBytes, denseBytes int) {
+	if m == nil {
+		return
+	}
+	m.CompressedUpdates.Inc()
+	m.CompressedBytes.Add(uint64(wireBytes))
+	if wireBytes > 0 {
+		m.CompressionRatio.Set(float64(denseBytes) / float64(wireBytes))
 	}
 }
 

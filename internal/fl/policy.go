@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/cip-fl/cip/internal/fl/compress"
 	"github.com/cip-fl/cip/internal/fl/robust"
 )
 
@@ -81,6 +82,16 @@ type RoundPolicy struct {
 	// tracker's state rides in ServerState, so checkpoint/resume does not
 	// amnesty an attacker.
 	Reputation *robust.Reputation
+	// Compress, when non-nil, routes every valid update through the
+	// compressed wire path in-process: the update becomes a delta against
+	// the broadcast global, the client's error-feedback residual is
+	// folded in, and the lossy round-tripped reconstruction is what
+	// observers and the aggregate actually see — the same information a
+	// compressed TCP federation would carry. The bank's residuals ride in
+	// ServerState, so checkpoint/resume replays compressed rounds
+	// bit-identically. Validation (NaN/Inf, MaxUpdateNorm) runs on the
+	// raw pre-compression update.
+	Compress *compress.Bank
 }
 
 func (p *RoundPolicy) quorum() int {
@@ -100,8 +111,13 @@ type FailureObserver interface {
 // ValidateUpdate rejects parameter vectors that would poison or crash the
 // aggregate: a length mismatch against the global model, or any NaN/Inf
 // entry. Both the in-process engine (under a RoundPolicy) and the TCP
-// transport run every update through this check.
+// transport run every update through this check. Sparse/delta updates
+// delegate to ValidateSparse, which additionally enforces index
+// structure (range, ordering, no duplicates).
 func ValidateUpdate(u Update, wantLen int) error {
+	if u.Sparse() {
+		return ValidateSparse(u, wantLen)
+	}
 	if len(u.Params) != wantLen {
 		return fmt.Errorf("fl: client %d update has %d params, want %d",
 			u.ClientID, len(u.Params), wantLen)
@@ -157,6 +173,13 @@ func AggregateRobust(agg robust.Aggregator, center []float64, updates []Update,
 	}
 	if len(updates) == 0 {
 		return nil, robust.Report{}, errors.New("fl: aggregate of zero updates")
+	}
+	for _, u := range updates {
+		if u.Sparse() {
+			return nil, robust.Report{}, fmt.Errorf(
+				"fl: robust aggregate: client %d update is sparse/delta; densify before aggregation",
+				u.ClientID)
+		}
 	}
 	if minQuorum < 1 {
 		minQuorum = 1
@@ -262,6 +285,17 @@ func (s *Server) runRoundQuorum(round int, start time.Time, participants []Clien
 			})
 			hardFailures++
 			continue
+		}
+		if bank := s.Policy.Compress; bank != nil {
+			// Serial, roster-ordered: the error-feedback fold mutates
+			// per-client residual state, and determinism at any worker
+			// count requires a fixed application order.
+			params, wireBytes, err := bank.RoundTrip(c.ID(), s.global, u.Params)
+			if err != nil {
+				return fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			u.Params = params
+			s.Metrics.RecordCompressedUpdate(wireBytes, 8*len(params))
 		}
 		valid = append(valid, u)
 	}

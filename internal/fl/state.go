@@ -50,6 +50,14 @@ type ServerState struct {
 	// addition — and restore with a fresh tracker. Persisting it is what
 	// keeps a restart from amnestying a quarantined attacker.
 	Reputation []byte
+	// Compress is the serialized error-feedback bank (per-client
+	// compression residuals) when the policy routes updates through the
+	// compressed wire path; nil otherwise. Older snapshots without the
+	// field decode with it nil — gob tolerates the addition. Persisting
+	// it is what keeps a resumed compressed run bit-identical: the
+	// residual a round's compression left behind shapes every later
+	// round's delta.
+	Compress []byte
 	// Clients maps client ID to its captured local-state blob.
 	Clients map[int][]byte
 }
@@ -85,6 +93,13 @@ func (s *Server) CaptureState() (*ServerState, error) {
 			return nil, fmt.Errorf("fl: capturing reputation state: %w", err)
 		}
 		st.Reputation = blob
+	}
+	if s.Policy != nil && s.Policy.Compress != nil {
+		blob, err := s.Policy.Compress.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("fl: capturing compression state: %w", err)
+		}
+		st.Compress = blob
 	}
 	for _, c := range s.Clients {
 		sc, ok := c.(StatefulClient)
@@ -132,6 +147,11 @@ func (s *Server) RestoreState(st *ServerState) error {
 	if st.Reputation != nil && s.Policy != nil && s.Policy.Reputation != nil {
 		if err := s.Policy.Reputation.Restore(st.Reputation); err != nil {
 			return fmt.Errorf("fl: restoring reputation state: %w", err)
+		}
+	}
+	if st.Compress != nil && s.Policy != nil && s.Policy.Compress != nil {
+		if err := s.Policy.Compress.Restore(st.Compress); err != nil {
+			return fmt.Errorf("fl: restoring compression state: %w", err)
 		}
 	}
 	copy(s.global, st.Global)

@@ -27,6 +27,19 @@ type Metrics struct {
 	// Rejoins counts clients readmitted into a resumed federation with a
 	// valid session token after a coordinator restart.
 	Rejoins *telemetry.Counter // transport_rejoins_total
+	// TxBytes counts outbound bytes written to clients (round broadcasts
+	// and done frames, both codecs).
+	TxBytes *telemetry.Counter // transport_tx_bytes_total
+	// RoundBytes is the total wire bytes (rx + tx) of the most recent
+	// round — the quantity the compression work drives down.
+	RoundBytes *telemetry.Gauge // transport_round_bytes
+	// CodecBinary and CodecGob count roster connections by the codec the
+	// welcome handshake settled on.
+	CodecBinary *telemetry.Counter // transport_codec_binary_total
+	CodecGob    *telemetry.Counter // transport_codec_gob_total
+	// CompressedUpdates counts updates received in a compressed (top-k /
+	// quantized) wire shape.
+	CompressedUpdates *telemetry.Counter // transport_compressed_updates_total
 }
 
 // NewMetrics registers the transport metrics on reg. A nil reg returns
@@ -48,7 +61,50 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Clients dropped for missing the round deadline."),
 		Rejoins: reg.Counter("transport_rejoins_total",
 			"Clients readmitted with a session token after a coordinator restart."),
+		TxBytes: reg.Counter("transport_tx_bytes_total",
+			"Outbound bytes written to clients."),
+		RoundBytes: reg.Gauge("transport_round_bytes",
+			"Total wire bytes (rx + tx) of the most recent round."),
+		CodecBinary: reg.Counter("transport_codec_binary_total",
+			"Roster connections negotiated onto the binary codec."),
+		CodecGob: reg.Counter("transport_codec_gob_total",
+			"Roster connections kept on the legacy gob codec."),
+		CompressedUpdates: reg.Counter("transport_compressed_updates_total",
+			"Updates received in a compressed wire shape."),
 	}
+}
+
+func (m *Metrics) codecNegotiated(binary bool) {
+	if m == nil {
+		return
+	}
+	if binary {
+		m.CodecBinary.Inc()
+	} else {
+		m.CodecGob.Inc()
+	}
+}
+
+func (m *Metrics) compressedUpdate() {
+	if m == nil {
+		return
+	}
+	m.CompressedUpdates.Inc()
+}
+
+func (m *Metrics) roundBytes(n uint64) {
+	if m == nil {
+		return
+	}
+	m.RoundBytes.Set(float64(n))
+}
+
+// txBytesCounter returns the byte counter countWriters feed, or nil.
+func (m *Metrics) txBytesCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.TxBytes
 }
 
 func (m *Metrics) rejoin() {

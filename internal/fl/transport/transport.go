@@ -1,17 +1,34 @@
-// Package transport runs the FedAvg protocol of internal/fl over TCP with
-// gob-encoded messages, so clients and the aggregation server can live in
-// separate processes (or machines). The in-process engine remains the
-// default for experiments; this package demonstrates and tests the
-// distributed deployment path on the loopback interface.
+// Package transport runs the FedAvg protocol of internal/fl over TCP, so
+// clients and the aggregation server can live in separate processes (or
+// machines). The in-process engine remains the default for experiments;
+// this package demonstrates and tests the distributed deployment path on
+// the loopback interface.
 //
-// Protocol (synchronous, one gob stream per client):
+// Protocol (synchronous, one stream per client). The handshake is always
+// gob; the welcome settles which codec the rest of the session speaks:
 //
-//	client → server: hello{ID, NumSamples, Token}
-//	server → client: welcome{Token, NextRound, Resumed}
-//	repeat for each round:
+//	client → server: hello{ID, NumSamples, Token, Codec, Compress, TopKFrac}
+//	server → client: welcome{Token, NextRound, Resumed, Codec, Compress, TopKFrac}
+//	repeat for each round (gob sessions):
 //	    server → client: roundMsg{Round, Params, Durable}
 //	    client → server: updateMsg{Update}
 //	server → client: roundMsg{Done: true}
+//	repeat for each round (binary sessions — internal/fl/wire frames):
+//	    server → client: MsgRound frame
+//	    client → server: MsgUpdate frame (possibly top-k/quantized delta)
+//	server → client: MsgDone frame
+//
+// Codec negotiation. A client offers Codec "binary" (and optionally a
+// compression mode) in its hello; a coordinator configured with Codec
+// "binary" accepts the offer and echoes the settled values in the
+// welcome. Either side omitting the offer keeps the session on gob —
+// old clients interoperate with new coordinators and vice versa, because
+// gob ignores unknown fields in both directions. Compressed updates are
+// deltas against the broadcast global with client-side error feedback:
+// the client accumulates what each lossy round dropped and folds it into
+// the next round's delta, so the federation converges to the dense
+// behavior; the residual rides in the rollback captures, keeping
+// kill→restart→resume bit-identical under compression.
 //
 // Restart recovery. A coordinator given a checkpoint.Manager mints a
 // session token, writes durable snapshots at the configured cadence, and
@@ -38,6 +55,7 @@
 package transport
 
 import (
+	"bufio"
 	crand "crypto/rand"
 	"encoding/gob"
 	"encoding/hex"
@@ -48,11 +66,14 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/checkpoint"
+	"github.com/cip-fl/cip/internal/fl/compress"
 	"github.com/cip-fl/cip/internal/fl/robust"
+	"github.com/cip-fl/cip/internal/fl/wire"
 	"github.com/cip-fl/cip/internal/rng"
 	"github.com/cip-fl/cip/internal/telemetry"
 )
@@ -64,6 +85,16 @@ type hello struct {
 	// client's first contact. A coordinator resumed from a snapshot uses it
 	// to recognize returning participants.
 	Token string
+	// Codec offers a wire codec for the session ("binary"); empty or
+	// "gob" keeps the legacy gob stream. Old coordinators never see the
+	// field (gob drops it), so the offer degrades to gob automatically.
+	Codec string
+	// Compress offers an update-compression mode (compress.ParseMode
+	// names); meaningful only with a binary codec offer.
+	Compress string
+	// TopKFrac is the offered top-k fraction for sparse modes (0 means
+	// the default).
+	TopKFrac float64
 }
 
 // welcome is the coordinator's response to a valid hello.
@@ -76,6 +107,14 @@ type welcome struct {
 	NextRound int
 	// Resumed reports whether the coordinator restored from a snapshot.
 	Resumed bool
+	// Codec is the codec the coordinator settled on for this session:
+	// "binary" iff both sides offered it; empty means gob. Old
+	// coordinators leave it absent, which decodes as empty — gob.
+	Codec string
+	// Compress and TopKFrac echo the accepted compression config (empty
+	// mode when the session is uncompressed).
+	Compress string
+	TopKFrac float64
 }
 
 type roundMsg struct {
@@ -109,6 +148,9 @@ type budgetReader struct {
 	r     io.Reader
 	n     int64
 	bytes *telemetry.Counter
+	// tally, when non-nil, accumulates received bytes atomically for the
+	// coordinator's per-round byte accounting (independent of telemetry).
+	tally *uint64
 }
 
 func (b *budgetReader) allow(n int64) { b.n = n }
@@ -123,6 +165,27 @@ func (b *budgetReader) Read(p []byte) (int, error) {
 	n, err := b.r.Read(p)
 	b.n -= int64(n)
 	b.bytes.Add(uint64(n))
+	if b.tally != nil {
+		atomic.AddUint64(b.tally, uint64(n))
+	}
+	return n, err
+}
+
+// countWriter mirrors budgetReader on the outbound side: every byte the
+// coordinator sends a client is counted into telemetry and the per-round
+// tally.
+type countWriter struct {
+	w     io.Writer
+	bytes *telemetry.Counter
+	tally *uint64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.bytes.Add(uint64(n))
+	if c.tally != nil {
+		atomic.AddUint64(c.tally, uint64(n))
+	}
 	return n, err
 }
 
@@ -154,9 +217,14 @@ type Coordinator struct {
 	// full NumClients roster; when the window closes the federation starts
 	// anyway as long as at least MinQuorum clients are connected.
 	AcceptWindow time.Duration
-	// MaxUpdateBytes bounds the gob-encoded size of one client update; 0
+	// MaxUpdateBytes bounds the encoded size of one client update; 0
 	// derives a generous bound from len(Initial).
 	MaxUpdateBytes int64
+	// Codec, when "binary", accepts per-client binary-codec offers from
+	// the welcome handshake (internal/fl/wire frames, optionally with
+	// top-k/quantized update compression). Empty or "gob" answers every
+	// offer with gob, which every client speaks.
+	Codec string
 	// MaxUpdateNorm, when > 0, rejects updates whose L2 norm exceeds it
 	// (counted as validation rejections). 0 disables the bound.
 	MaxUpdateNorm float64
@@ -229,7 +297,17 @@ type clientConn struct {
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	lim     *budgetReader
-	conn    net.Conn
+	// br is the single buffered reader over lim shared by the gob
+	// handshake and the binary frame path. Gob decoders buffer their
+	// input, so the frame reader MUST go through the same buffer — raw
+	// reads on lim would miss any bytes gob read ahead.
+	br   *bufio.Reader
+	w    *countWriter
+	conn net.Conn
+	// binary marks a session negotiated onto the wire-frame codec; cfg is
+	// its accepted compression config (Mode None when uncompressed).
+	binary bool
+	cfg    compress.Config
 }
 
 // decodeUpdate is the byte-budgeted inbound path for one client update:
@@ -246,10 +324,60 @@ func decodeUpdate(dec *gob.Decoder, lim *budgetReader, budget int64,
 		return fl.Update{}, err
 	}
 	um.U.ClientID = clientID
+	if um.U.Sparse() {
+		// The gob protocol is dense-only; sparse shapes arrive exclusively
+		// through negotiated binary frames. A gob client poking the new
+		// Update fields costs itself the round, not the federation.
+		return fl.Update{}, errInvalid{fmt.Errorf(
+			"fl: client %d sent a sparse/delta update over the gob protocol", clientID)}
+	}
 	if err := fl.ValidateUpdateBounded(um.U, wantLen, maxNorm); err != nil {
 		return fl.Update{}, errInvalid{err}
 	}
 	return um.U, nil
+}
+
+// decodeUpdateFrame is decodeUpdate's binary twin: read one frame under
+// the byte budget, structurally decode it, densify any compressed shape
+// against the broadcast global (which performs the semantic sparse-index
+// validation), stamp the authoritative client ID, and validate. Hostile
+// bytes can only produce an error — wire.ReadFrame checks declared
+// lengths against the budget before allocating and wire.DecodeUpdate runs
+// under a panic guard (fuzzed by FuzzDecodeFrame).
+func decodeUpdateFrame(r io.Reader, lim *budgetReader, budget int64, accepted compress.Mode,
+	clientID int, global []float64, maxNorm float64) (fl.Update, compress.Mode, error) {
+	lim.allow(wire.HeaderLen + budget)
+	f, err := wire.ReadFrame(r, int(budget))
+	if err != nil {
+		if errors.Is(err, wire.ErrBudget) || errors.Is(err, wire.ErrPayload) ||
+			errors.Is(err, wire.ErrTruncated) {
+			return fl.Update{}, compress.None, errInvalid{err}
+		}
+		return fl.Update{}, compress.None, err
+	}
+	defer f.Release()
+	if f.Type != wire.MsgUpdate {
+		return fl.Update{}, f.Mode, errInvalid{fmt.Errorf("wire: expected update frame, got type %d", f.Type)}
+	}
+	// A client may always fall back to an uncompressed update (mode None)
+	// — e.g. for a final fine-grained round — but cannot unilaterally
+	// switch to a mode the handshake did not accept.
+	if f.Mode != accepted && f.Mode != compress.None {
+		return fl.Update{}, f.Mode, errInvalid{fmt.Errorf(
+			"wire: client %d sent mode %s, negotiated %s", clientID, f.Mode, accepted)}
+	}
+	u, err := wire.DecodeUpdate(f.Mode, f.Payload)
+	if err != nil {
+		return fl.Update{}, f.Mode, errInvalid{err}
+	}
+	u.ClientID = clientID
+	if u, err = fl.Densify(u, global); err != nil {
+		return fl.Update{}, f.Mode, errInvalid{err}
+	}
+	if err := fl.ValidateUpdateBounded(u, len(global), maxNorm); err != nil {
+		return fl.Update{}, f.Mode, errInvalid{err}
+	}
+	return u, f.Mode, nil
 }
 
 // exchange runs one round against one client: send the globals, wait for
@@ -261,6 +389,9 @@ func (cc *clientConn) exchange(round, durable int, global []float64, timeout tim
 		cc.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
 		defer cc.conn.SetDeadline(time.Time{})       //nolint:errcheck
 	}
+	if cc.binary {
+		return cc.exchangeBinary(round, durable, global, budget, maxNorm, met, out)
+	}
 	if err := cc.enc.Encode(roundMsg{Round: round, Params: global, Durable: durable}); err != nil {
 		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
 	}
@@ -271,6 +402,32 @@ func (cc *clientConn) exchange(round, durable int, global []float64, timeout tim
 			return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
 		}
 		return fmt.Errorf("transport: round %d: %w", round, err)
+	}
+	*out = u
+	return nil
+}
+
+// exchangeBinary is exchange over wire frames: broadcast a pooled
+// MsgRound frame, then decode the (possibly compressed) update.
+func (cc *clientConn) exchangeBinary(round, durable int, global []float64,
+	budget int64, maxNorm float64, met *Metrics, out *fl.Update) error {
+	buf := wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(global)))[:0]
+	buf = wire.AppendRoundFrame(buf, round, durable, global)
+	_, err := cc.w.Write(buf)
+	wire.PutBuffer(buf)
+	if err != nil {
+		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
+	}
+	u, mode, err := decodeUpdateFrame(cc.br, cc.lim, budget, cc.cfg.Mode, cc.id, global, maxNorm)
+	if err != nil {
+		if !errors.As(err, &errInvalid{}) {
+			met.decodeFailure()
+			return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
+		}
+		return fmt.Errorf("transport: round %d: %w", round, err)
+	}
+	if mode != compress.None {
+		met.compressedUpdate()
 	}
 	*out = u
 	return nil
@@ -293,11 +450,35 @@ func failureReason(err error) fl.FailureReason {
 	return fl.FailTransport
 }
 
+// negotiate settles one client's codec and compression from its hello.
+// The binary codec requires both sides to offer it; compression
+// additionally requires a parseable mode. A nonsense compression offer is
+// an error (a bad hello), not a silent downgrade.
+func (c *Coordinator) negotiate(h hello) (binary bool, cfg compress.Config, err error) {
+	binary = c.Codec == wire.CodecBinary && h.Codec == wire.CodecBinary
+	if h.Compress == "" {
+		return binary, compress.Config{}, nil
+	}
+	mode, err := compress.ParseMode(h.Compress)
+	if err != nil {
+		return false, compress.Config{}, fmt.Errorf("transport: client %d: %w", h.ID, err)
+	}
+	if !binary {
+		// Compression only exists on the frame codec; a gob session
+		// silently ignoring the offer would surprise the client, so the
+		// welcome simply echoes no compression and the client sends dense.
+		return binary, compress.Config{}, nil
+	}
+	return binary, compress.Config{Mode: mode, TopKFrac: h.TopKFrac}.WithDefaults(), nil
+}
+
 // acceptClients collects the initial roster, answering each valid hello
-// with a welcome carrying the session token and resume round. Any
-// connection accepted before an error is closed before returning, so a bad
-// hello from client n does not leak clients 1..n-1.
-func (c *Coordinator) acceptClients(ln net.Listener, w welcome) (conns []*clientConn, err error) {
+// with a welcome carrying the session token, resume round, and the
+// settled codec/compression for that client. Any connection accepted
+// before an error is closed before returning, so a bad hello from client
+// n does not leak clients 1..n-1. rxTally/txTally feed the coordinator's
+// per-round byte accounting.
+func (c *Coordinator) acceptClients(ln net.Listener, w welcome, rxTally, txTally *uint64) (conns []*clientConn, err error) {
 	defer func() {
 		if err != nil {
 			for _, cc := range conns {
@@ -329,11 +510,15 @@ func (c *Coordinator) acceptClients(ln net.Listener, w welcome) (conns []*client
 		if !deadline.IsZero() {
 			conn.SetReadDeadline(deadline) //nolint:errcheck
 		}
-		lim := &budgetReader{r: conn, bytes: c.Metrics.decodeBytesCounter()}
+		lim := &budgetReader{r: conn, bytes: c.Metrics.decodeBytesCounter(), tally: rxTally}
+		cw := &countWriter{w: conn, bytes: c.Metrics.txBytesCounter(), tally: txTally}
+		br := bufio.NewReader(lim)
 		cc := &clientConn{
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(lim),
+			enc:  gob.NewEncoder(cw),
+			dec:  gob.NewDecoder(br),
 			lim:  lim,
+			br:   br,
+			w:    cw,
 			conn: conn,
 		}
 		lim.allow(maxHelloBytes)
@@ -362,7 +547,26 @@ func (c *Coordinator) acceptClients(ln net.Listener, w welcome) (conns []*client
 			}
 			return conns, fmt.Errorf("transport: client %d presented an unknown session token", h.ID)
 		}
-		if err := cc.enc.Encode(w); err != nil {
+		binary, cfg, err := c.negotiate(h)
+		if err != nil {
+			conn.Close()
+			if c.faultTolerant() {
+				continue
+			}
+			return conns, err
+		}
+		// The welcome is per-client: it carries the codec and compression
+		// this particular session settled on, so mixed rosters (old gob
+		// clients beside compressed binary ones) are first-class.
+		wc := w
+		if binary {
+			wc.Codec = wire.CodecBinary
+			if cfg.Mode != compress.None {
+				wc.Compress = cfg.Mode.String()
+				wc.TopKFrac = cfg.TopKFrac
+			}
+		}
+		if err := cc.enc.Encode(wc); err != nil {
 			conn.Close()
 			if c.faultTolerant() {
 				continue
@@ -376,8 +580,11 @@ func (c *Coordinator) acceptClients(ln net.Listener, w welcome) (conns []*client
 		conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 		cc.id = h.ID
 		cc.samples = h.NumSamples
+		cc.binary = binary
+		cc.cfg = cfg
 		conns = append(conns, cc)
 		c.Metrics.connAccepted()
+		c.Metrics.codecNegotiated(binary)
 	}
 	return conns, nil
 }
@@ -473,9 +680,12 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		ready(ln.Addr().String())
 	}
 
+	// rxTally/txTally accumulate every wire byte either direction; the
+	// per-round delta lands in the transport_round_bytes gauge.
+	var rxTally, txTally uint64
 	active, err := c.acceptClients(ln, welcome{
 		Token: token, NextRound: startRound, Resumed: c.Restore != nil,
-	})
+	}, &rxTally, &txTally)
 	if err != nil {
 		return nil, err
 	}
@@ -489,6 +699,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 
 	for round := startRound; round < c.Rounds; round++ {
 		roundStart := time.Now()
+		bytesBefore := atomic.LoadUint64(&rxTally) + atomic.LoadUint64(&txTally)
 		// Quarantined clients are skipped for the round: no round message,
 		// no update, no influence. Their connections stay open so a later
 		// probation can re-admit them without a reconnect.
@@ -587,6 +798,7 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 			c.Reputation.EndRound(roundIDs)
 		}
 		global = agg
+		c.Metrics.roundBytes(atomic.LoadUint64(&rxTally) + atomic.LoadUint64(&txTally) - bytesBefore)
 		c.RoundMetrics.RecordRound(roundStart, len(valid), len(failures), len(agg))
 		c.RoundMetrics.RecordRobust(report)
 		c.RoundMetrics.RecordReputation(c.Reputation)
@@ -621,7 +833,13 @@ func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([
 		if c.RoundTimeout > 0 {
 			cc.conn.SetWriteDeadline(time.Now().Add(c.RoundTimeout)) //nolint:errcheck
 		}
-		if err := cc.enc.Encode(roundMsg{Done: true}); err != nil && !c.faultTolerant() {
+		var err error
+		if cc.binary {
+			_, err = cc.w.Write(wire.AppendDoneFrame(nil))
+		} else {
+			err = cc.enc.Encode(roundMsg{Done: true})
+		}
+		if err != nil && !c.faultTolerant() {
 			return nil, fmt.Errorf("transport: sending done to client %d: %w", cc.id, err)
 		}
 	}
@@ -650,6 +868,17 @@ type RetryConfig struct {
 	Rng *rand.Rand
 	// Dial overrides the dialer (fault-injection hook); nil dials TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Codec, when "binary", offers the wire-frame codec in the hello; the
+	// session uses it iff the coordinator accepts. Empty or "gob" stays
+	// on gob. Setting Compress implies the binary offer.
+	Codec string
+	// Compress offers an update-compression mode (compress.ParseMode
+	// names: topk, q8, q16, topk8, topk16); empty sends dense updates.
+	// Effective only when the coordinator accepts the binary codec.
+	Compress string
+	// TopKFrac is the top-k fraction offered with sparse modes (0 means
+	// the compress package default, 1%).
+	TopKFrac float64
 	// Stop, when signaled (closed), aborts the client cleanly:
 	// RunClientRetry returns ErrClientStopped instead of dialing again,
 	// sleeping out a backoff, or blocking on the next round message.
@@ -683,6 +912,9 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 	}
 	if rc.Dial == nil {
 		rc.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if rc.Compress != "" && rc.Codec == "" {
+		rc.Codec = wire.CodecBinary // compression exists only on the frame codec
 	}
 	return rc
 }
@@ -728,6 +960,14 @@ type sessionState struct {
 	// noCapture is set after CaptureState fails once (a client not built
 	// for statefulness); further rounds skip the attempt.
 	noCapture bool
+	// residual is the error-feedback accumulator of a compressed binary
+	// session: everything past lossy rounds dropped, folded into the next
+	// round's delta. resCaptures snapshots it per completed round
+	// alongside captures, so a rollback restores the residual the resumed
+	// round's compression depends on — without it, a resumed federation
+	// would diverge from an uninterrupted one.
+	residual    []float64
+	resCaptures map[int][]float64
 }
 
 // RunClient connects a local fl.Client to a coordinator at addr and
@@ -763,7 +1003,7 @@ func RunClientRetry(addr string, client fl.Client, rc RetryConfig) error {
 			return ErrClientStopped
 		}
 		joinedBefore, roundBefore := st.joined, st.nextRound
-		err = runSession(addr, client, rc.Dial, rc.Stop, st)
+		err = runSession(addr, client, rc, st)
 		if err == nil || errors.Is(err, ErrClientStopped) || errors.As(err, &errFatal{}) {
 			return err
 		}
@@ -807,17 +1047,22 @@ func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
 	}
 }
 
+// clientFrameBudget bounds one inbound frame on the client side. Clients
+// do not know the model size before the first round frame arrives, so the
+// bound is a generous constant rather than model-derived.
+const clientFrameBudget = 1 << 30
+
 // runSession runs one connect-train session, updating st as the federation
 // progresses so a later session can resume.
-func runSession(addr string, client fl.Client, dial func(string) (net.Conn, error),
-	stop <-chan struct{}, st *sessionState) error {
-	conn, err := dial(addr)
+func runSession(addr string, client fl.Client, rc RetryConfig, st *sessionState) error {
+	stop := rc.Stop
+	conn, err := rc.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 
-	// While this session blocks in a gob read, a Stop signal unblocks it by
+	// While this session blocks in a read, a Stop signal unblocks it by
 	// expiring the read deadline; the session then reports ErrClientStopped.
 	if stop != nil {
 		done := make(chan struct{})
@@ -838,8 +1083,15 @@ func runSession(addr string, client fl.Client, dial func(string) (net.Conn, erro
 	}
 
 	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(hello{ID: client.ID(), NumSamples: client.NumSamples(), Token: st.token}); err != nil {
+	// The gob decoder buffers its input; the binary frame loop must read
+	// from the same buffer or it would miss bytes the welcome decode read
+	// ahead (the first round frame can arrive right behind the welcome).
+	br := bufio.NewReader(conn)
+	dec := gob.NewDecoder(br)
+	if err := enc.Encode(hello{
+		ID: client.ID(), NumSamples: client.NumSamples(), Token: st.token,
+		Codec: rc.Codec, Compress: rc.Compress, TopKFrac: rc.TopKFrac,
+	}); err != nil {
 		return stopErr(fmt.Errorf("transport: sending hello: %w", err))
 	}
 	var w welcome
@@ -851,15 +1103,29 @@ func runSession(addr string, client fl.Client, dial func(string) (net.Conn, erro
 	} else if w.Token != st.token {
 		return errFatal{fmt.Errorf("transport: coordinator session token changed mid-federation")}
 	}
+	// The welcome settles the session codec: binary iff the coordinator
+	// accepted the offer (old coordinators leave the field empty — gob).
+	binary := w.Codec == wire.CodecBinary
+	var cfg compress.Config
+	if binary && w.Compress != "" {
+		mode, err := compress.ParseMode(w.Compress)
+		if err != nil {
+			return errFatal{fmt.Errorf("transport: coordinator accepted unknown compression: %w", err)}
+		}
+		cfg = compress.Config{Mode: mode, TopKFrac: w.TopKFrac}.WithDefaults()
+	}
 	if w.NextRound < st.nextRound {
 		// The coordinator lost rounds this client already trained; rewind
 		// to the capture matching its resume point.
-		if err := rollback(client, st, w.NextRound); err != nil {
+		if err := rollback(client, st, w.NextRound, cfg.Mode != compress.None); err != nil {
 			return errFatal{err}
 		}
 	}
 	st.nextRound = w.NextRound
 
+	if binary {
+		return runRoundsBinary(conn, br, client, cfg, stopErr, st)
+	}
 	for {
 		var rm roundMsg
 		if err := dec.Decode(&rm); err != nil {
@@ -869,11 +1135,7 @@ func runSession(addr string, client fl.Client, dial func(string) (net.Conn, erro
 		if rm.Done {
 			return nil
 		}
-		for r := range st.captures {
-			if r < rm.Durable {
-				delete(st.captures, r)
-			}
-		}
+		pruneCaptures(st, rm.Durable)
 		u, err := client.TrainLocal(rm.Round, rm.Params)
 		if err != nil {
 			return errFatal{fmt.Errorf("transport: local training round %d: %w", rm.Round, err)}
@@ -882,14 +1144,121 @@ func runSession(addr string, client fl.Client, dial func(string) (net.Conn, erro
 			return stopErr(fmt.Errorf("transport: sending update: %w", err))
 		}
 		st.nextRound = rm.Round + 1
-		capture(client, st, rm.Round)
+		capture(client, st, rm.Round, nil)
 	}
 }
 
-// capture records the client's post-round state for possible rollback.
-// Only durable sessions need it, and only stateful clients can provide it;
-// everything else degrades silently (rollback will then refuse).
-func capture(client fl.Client, st *sessionState, round int) {
+// runRoundsBinary is the round loop of a binary-codec session: wire
+// frames both directions, with optional compressed (error-feedback)
+// updates. The hello/welcome handshake already happened over gob.
+func runRoundsBinary(conn net.Conn, r io.Reader, client fl.Client, cfg compress.Config,
+	stopErr func(error) error, st *sessionState) error {
+	for {
+		f, err := wire.ReadFrame(r, clientFrameBudget)
+		if err != nil {
+			return stopErr(fmt.Errorf("transport: reading round frame: %w", err))
+		}
+		st.joined = true
+		if f.Type == wire.MsgDone {
+			f.Release()
+			return nil
+		}
+		if f.Type != wire.MsgRound {
+			f.Release()
+			return errFatal{fmt.Errorf("transport: unexpected frame type %d mid-federation", f.Type)}
+		}
+		round, durable, params, err := wire.DecodeRound(f.Payload)
+		f.Release()
+		if err != nil {
+			return errFatal{fmt.Errorf("transport: decoding round frame: %w", err)}
+		}
+		pruneCaptures(st, durable)
+		u, err := client.TrainLocal(round, params)
+		if err != nil {
+			return errFatal{fmt.Errorf("transport: local training round %d: %w", round, err)}
+		}
+		if err := sendUpdateBinary(conn, u, params, cfg, st); err != nil {
+			return stopErr(err)
+		}
+		st.nextRound = round + 1
+		var resid []float64
+		if cfg.Mode != compress.None {
+			resid = st.residual
+		}
+		capture(client, st, round, resid)
+	}
+}
+
+// sendUpdateBinary encodes and sends one update frame. Uncompressed
+// sessions send the raw dense parameters; compressed ones send the
+// delta against the broadcast global with the error-feedback residual
+// folded in, and keep what the lossy codec dropped as the new residual.
+func sendUpdateBinary(conn net.Conn, u fl.Update, broadcast []float64,
+	cfg compress.Config, st *sessionState) error {
+	var (
+		frame []byte
+		err   error
+	)
+	if cfg.Mode == compress.None {
+		buf := wire.GetBuffer(wire.HeaderLen + wire.UpdatePayloadLen(compress.None, len(u.Params), 0))[:0]
+		frame, err = wire.AppendUpdateFrame(buf, u, nil, compress.None)
+	} else {
+		if len(u.Params) != len(broadcast) {
+			return errFatal{fmt.Errorf("transport: client %d produced %d params for a %d-param model",
+				u.ClientID, len(u.Params), len(broadcast))}
+		}
+		delta := make([]float64, len(u.Params))
+		for i := range delta {
+			delta[i] = u.Params[i] - broadcast[i]
+		}
+		var d *compress.Delta
+		var newRes []float64
+		d, newRes, err = cfg.CompressEF(delta, st.residual)
+		if err != nil {
+			return errFatal{fmt.Errorf("transport: compressing update: %w", err)}
+		}
+		buf := wire.GetBuffer(wire.HeaderLen + wire.UpdatePayloadLen(cfg.Mode, d.Len, len(d.Indices)))[:0]
+		frame, err = wire.AppendUpdateFrame(buf, u, d, cfg.Mode)
+		if err == nil {
+			// The residual advances only once the frame is built; a
+			// send failure after this point is fine — the round will be
+			// replayed from a rollback capture, which restores it.
+			st.residual = newRes
+		}
+	}
+	if err != nil {
+		wire.PutBuffer(frame)
+		return errFatal{fmt.Errorf("transport: encoding update: %w", err)}
+	}
+	_, werr := conn.Write(frame)
+	wire.PutBuffer(frame)
+	if werr != nil {
+		return fmt.Errorf("transport: sending update: %w", werr)
+	}
+	return nil
+}
+
+// pruneCaptures drops rollback captures (state and residual) for rounds
+// the coordinator has made durable — it can never rewind past them.
+func pruneCaptures(st *sessionState, durable int) {
+	for r := range st.captures {
+		if r < durable {
+			delete(st.captures, r)
+		}
+	}
+	for r := range st.resCaptures {
+		if r < durable {
+			delete(st.resCaptures, r)
+		}
+	}
+}
+
+// capture records the client's post-round state for possible rollback,
+// plus the compression residual as of the round's send when the session
+// is compressed (resid non-nil). Only durable sessions need it, and only
+// stateful clients can provide it; everything else degrades silently
+// (rollback will then refuse).
+func capture(client fl.Client, st *sessionState, round int, resid []float64) {
 	if st.token == "" || st.noCapture {
 		return
 	}
@@ -904,10 +1273,18 @@ func capture(client fl.Client, st *sessionState, round int) {
 		return
 	}
 	st.captures[round] = blob
+	if resid != nil {
+		if st.resCaptures == nil {
+			st.resCaptures = make(map[int][]float64)
+		}
+		st.resCaptures[round] = append([]float64(nil), resid...)
+	}
 }
 
-// rollback rewinds the client to its post-round-(nextRound-1) capture.
-func rollback(client fl.Client, st *sessionState, nextRound int) error {
+// rollback rewinds the client to its post-round-(nextRound-1) capture —
+// including, on compressed sessions (needResidual), the error-feedback
+// residual as it stood after that round's send.
+func rollback(client fl.Client, st *sessionState, nextRound int, needResidual bool) error {
 	if nextRound == st.nextRound {
 		return nil
 	}
@@ -920,6 +1297,14 @@ func rollback(client fl.Client, st *sessionState, nextRound int) error {
 	if !ok {
 		return fmt.Errorf("transport: coordinator resumed at round %d but client %d holds no capture for round %d",
 			nextRound, client.ID(), nextRound-1)
+	}
+	if needResidual {
+		res, ok := st.resCaptures[nextRound-1]
+		if !ok {
+			return fmt.Errorf("transport: coordinator resumed at round %d but client %d holds no residual capture for round %d",
+				nextRound, client.ID(), nextRound-1)
+		}
+		st.residual = append([]float64(nil), res...)
 	}
 	if err := sc.RestoreState(blob); err != nil {
 		return fmt.Errorf("transport: rolling client %d back to round %d: %w", client.ID(), nextRound-1, err)

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/compress"
+)
+
+// seedGolden seeds a fuzzer with every committed golden frame, so the
+// corpus starts from valid wire bytes and mutates outward.
+func seedGolden(f *testing.F, add func([]byte)) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.hex"))
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		frame, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
+		if err != nil {
+			continue
+		}
+		add(frame)
+	}
+	if len(files) == 0 {
+		f.Fatal("no golden corpus to seed from")
+	}
+}
+
+// FuzzDecodeFrame hammers the full inbound path a hostile client reaches:
+// frame header parse, budget check, payload read, structural update
+// decode, densify. The invariants: never panic, never allocate a payload
+// past the byte budget, and released buffers never double-free.
+func FuzzDecodeFrame(f *testing.F) {
+	seedGolden(f, func(b []byte) { f.Add(b, 4096) })
+	f.Add([]byte{Magic, Version, MsgUpdate, 0, 0xFF, 0xFF, 0xFF, 0xFF}, 64)
+	f.Fuzz(func(t *testing.T, data []byte, budget int) {
+		if budget < 0 {
+			budget = -budget
+		}
+		budget %= 1 << 20
+		fr, err := ReadFrame(bytes.NewReader(data), budget)
+		if err != nil {
+			return // any error is acceptable; a panic is not
+		}
+		defer fr.Release()
+		if budget > 0 && len(fr.Payload) > budget {
+			t.Fatalf("payload of %d bytes escaped budget %d", len(fr.Payload), budget)
+		}
+		switch fr.Type {
+		case MsgRound:
+			if _, _, params, err := DecodeRound(fr.Payload); err == nil {
+				// A successful round decode allocates only what the
+				// payload itself carried.
+				if 8*len(params) > len(fr.Payload) {
+					t.Fatalf("round decode expanded %d payload bytes to %d params",
+						len(fr.Payload), len(params))
+				}
+			}
+		case MsgUpdate:
+			u, err := DecodeUpdate(fr.Mode, fr.Payload)
+			if err != nil {
+				return
+			}
+			// Structural decode may expand ≤8x (int8 codes to float64);
+			// anything more means an attacker-controlled length slipped
+			// through the size arithmetic.
+			if len(u.Params) > len(fr.Payload) || len(u.Indices) > len(fr.Payload) {
+				t.Fatalf("update decode expanded %d payload bytes to %d params / %d indices",
+					len(fr.Payload), len(u.Params), len(u.Indices))
+			}
+			// Densify must validate-or-error, never panic, whatever the
+			// decoded shape claims.
+			global := make([]float64, 64)
+			if dense, err := fl.Densify(u, global); err == nil && dense.Sparse() {
+				t.Fatal("densify returned a sparse update without error")
+			}
+		}
+	})
+}
+
+// FuzzDecompressUpdate hammers the compressed-update payload decoder for
+// each mode directly (no frame header), plus the densify step — the
+// decompression path of the tentpole. Same invariants: no panic, no
+// over-allocation past the payload's own size arithmetic.
+func FuzzDecompressUpdate(f *testing.F) {
+	seedGolden(f, func(b []byte) {
+		if len(b) > HeaderLen && b[2] == MsgUpdate {
+			f.Add(b[3], b[HeaderLen:])
+		}
+	})
+	f.Fuzz(func(t *testing.T, modeByte byte, payload []byte) {
+		mode := compress.Mode(modeByte)
+		u, err := DecodeUpdate(mode, payload)
+		if err != nil {
+			return
+		}
+		if !mode.Valid() {
+			t.Fatalf("invalid mode %d decoded successfully", modeByte)
+		}
+		if len(u.Params) > len(payload)+1 || len(u.Indices) > len(payload)+1 {
+			t.Fatalf("mode %s expanded %d payload bytes to %d params / %d indices",
+				mode, len(payload), len(u.Params), len(u.Indices))
+		}
+		global := make([]float64, 32)
+		dense, err := fl.Densify(u, global)
+		if err != nil {
+			return
+		}
+		if u.Sparse() && len(dense.Params) != len(global) {
+			t.Fatalf("densify produced %d params for a %d-param model",
+				len(dense.Params), len(global))
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/compress"
+)
+
+func testVector(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// allModes is every codec mode with a sensible config for a small vector.
+func allModes() []compress.Config {
+	return []compress.Config{
+		{Mode: compress.None},
+		{Mode: compress.TopK, TopKFrac: 0.25},
+		{Mode: compress.Q8},
+		{Mode: compress.Q16},
+		{Mode: compress.TopKQ8, TopKFrac: 0.25},
+		{Mode: compress.TopKQ16, TopKFrac: 0.25},
+	}
+}
+
+func TestRoundFrameRoundTrip(t *testing.T) {
+	params := testVector(37, 1)
+	frame := AppendRoundFrame(nil, 12, -1, params)
+	f, err := ReadFrame(bytes.NewReader(frame), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if f.Type != MsgRound || f.Mode != compress.None {
+		t.Fatalf("frame header = type %d mode %d", f.Type, f.Mode)
+	}
+	round, durable, got, err := DecodeRound(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 12 || durable != -1 {
+		t.Fatalf("round,durable = %d,%d want 12,-1", round, durable)
+	}
+	for i := range params {
+		if got[i] != params[i] {
+			t.Fatalf("param %d: %v != %v", i, got[i], params[i])
+		}
+	}
+}
+
+func TestDoneFrameRoundTrip(t *testing.T) {
+	f, err := ReadFrame(bytes.NewReader(AppendDoneFrame(nil)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if f.Type != MsgDone || len(f.Payload) != 0 {
+		t.Fatalf("done frame: type %d, %d payload bytes", f.Type, len(f.Payload))
+	}
+}
+
+// TestUpdateFrameRoundTrip proves every mode's wire round-trip is exact:
+// the decoded update, densified against the global, must equal the
+// compressed delta's in-process reconstruction bit for bit. That identity
+// is what makes the TCP path and the in-process Bank path (and therefore
+// checkpoint resume across them) agree.
+func TestUpdateFrameRoundTrip(t *testing.T) {
+	global := testVector(64, 2)
+	params := testVector(64, 3)
+	for _, cfg := range allModes() {
+		cfg := cfg.WithDefaults()
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			u := fl.Update{ClientID: 7, NumSamples: 41, TrainLoss: 0.625}
+			var d *compress.Delta
+			var wantDense []float64
+			if cfg.Mode == compress.None {
+				u.Params = params
+				wantDense = params
+			} else {
+				delta := make([]float64, len(params))
+				for i := range delta {
+					delta[i] = params[i] - global[i]
+				}
+				var err error
+				d, err = cfg.Compress(delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec := d.Decode()
+				wantDense = make([]float64, len(global))
+				for i := range wantDense {
+					wantDense[i] = global[i] + dec[i]
+				}
+			}
+			frame, err := AppendUpdateFrame(nil, u, d, cfg.Mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := ReadFrame(bytes.NewReader(frame), len(frame))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Release()
+			if f.Type != MsgUpdate || f.Mode != cfg.Mode {
+				t.Fatalf("frame header = type %d mode %s", f.Type, f.Mode)
+			}
+			got, err := DecodeUpdate(f.Mode, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ClientID != 7 || got.NumSamples != 41 || got.TrainLoss != 0.625 {
+				t.Fatalf("update header = %+v", got)
+			}
+			dense, err := fl.Densify(got, global)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantDense {
+				if dense.Params[i] != wantDense[i] {
+					t.Fatalf("%s: param %d: wire %v, in-process %v",
+						cfg.Mode, i, dense.Params[i], wantDense[i])
+				}
+			}
+			if cfg.Mode != compress.None {
+				// The frame body should be exactly what Delta.WireBytes
+				// promises (plus the fixed 20-byte update header).
+				if want := d.WireBytes() + 20; len(f.Payload) != want {
+					t.Fatalf("%s: payload %d bytes, WireBytes promises %d",
+						cfg.Mode, len(f.Payload), want)
+				}
+			}
+		})
+	}
+}
+
+func TestReadFrameRejects(t *testing.T) {
+	params := testVector(8, 4)
+	good := AppendRoundFrame(nil, 0, -1, params)
+
+	t.Run("budget", func(t *testing.T) {
+		_, err := ReadFrame(bytes.NewReader(good), 8)
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("err = %v, want ErrBudget", err)
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 0x00
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrMagic) {
+			t.Fatalf("err = %v, want ErrMagic", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[1] = 99
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("type", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[2] = 9
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrFrameType) {
+			t.Fatalf("err = %v, want ErrFrameType", err)
+		}
+	})
+	t.Run("mode", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[3] = 200
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrPayload) {
+			t.Fatalf("err = %v, want ErrPayload", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadFrame(bytes.NewReader(good[:len(good)-3]), 0); err == nil {
+			t.Fatal("truncated frame accepted")
+		}
+	})
+}
+
+func TestDecodeUpdateRejectsSizeLies(t *testing.T) {
+	u := fl.Update{ClientID: 1, NumSamples: 10, Params: testVector(16, 5)}
+	frame, err := AppendUpdateFrame(nil, u, nil, compress.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[HeaderLen:]
+
+	// Lie about denseLen: body no longer matches.
+	bad := append([]byte(nil), payload...)
+	bad[16] = 0xFF
+	if _, err := DecodeUpdate(compress.None, bad); !errors.Is(err, ErrPayload) {
+		t.Fatalf("dense-length lie: err = %v, want ErrPayload", err)
+	}
+	// Truncated header.
+	if _, err := DecodeUpdate(compress.None, payload[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short payload: err = %v, want ErrTruncated", err)
+	}
+	// Sparse k lie.
+	cfg := compress.Config{Mode: compress.TopK, TopKFrac: 0.5}
+	d, err := cfg.Compress(testVector(16, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := AppendUpdateFrame(nil, fl.Update{ClientID: 1}, d, compress.TopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := append([]byte(nil), sf[HeaderLen:]...)
+	sp[20] = 0xEE // k prefix
+	if _, err := DecodeUpdate(compress.TopK, sp); !errors.Is(err, ErrPayload) {
+		t.Fatalf("k lie: err = %v, want ErrPayload", err)
+	}
+}
+
+// TestDecodeUpdateQuantizedNaNRangeSurfacesDownstream: hostile min/max in
+// a quantized body decode to non-finite params, which fl validation (not
+// the structural decode) rejects.
+func TestDecodeUpdateQuantizedNaNRangeSurfacesDownstream(t *testing.T) {
+	cfg := compress.Config{Mode: compress.Q8}
+	d, err := cfg.Compress(testVector(8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := AppendUpdateFrame(nil, fl.Update{ClientID: 3}, d, compress.Q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), frame[HeaderLen:]...)
+	// Overwrite min with NaN.
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		payload[20+i] = byte(nan >> (8 * i))
+	}
+	u, err := DecodeUpdate(compress.Q8, payload)
+	if err != nil {
+		t.Fatalf("structural decode should pass: %v", err)
+	}
+	if _, err := fl.Densify(u, make([]float64, 8)); err == nil {
+		t.Fatal("NaN-range update densified without error")
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	b := GetBuffer(1000)
+	if len(b) != 1000 || cap(b) != 1024 {
+		t.Fatalf("len,cap = %d,%d", len(b), cap(b))
+	}
+	b[0] = 0xAB
+	PutBuffer(b)
+	b2 := GetBuffer(900)
+	if cap(b2) != 1024 {
+		t.Fatalf("expected class reuse, cap = %d", cap(b2))
+	}
+	PutBuffer(b2)
+	// Oversized requests fall through and PutBuffer ignores them.
+	huge := GetBuffer(1 << 27)
+	if len(huge) != 1<<27 {
+		t.Fatalf("oversized len = %d", len(huge))
+	}
+	PutBuffer(huge)
+	// Foreign non-power-of-two slices are ignored too.
+	PutBuffer(make([]byte, 1000))
+}
