@@ -95,6 +95,27 @@ func wireGate(rep *benchReport) error {
 	return nil
 }
 
+// runScaleGate is the coordinator-memory regression line: at 10k clients
+// the streaming fold's peak heap footprint must be ≥5x below the
+// buffered baseline's, or the O(roster × params) materialization has
+// crept back in.
+func runScaleGate() error {
+	const clients, dim, rounds = 10_000, 32_768, 2
+	fmt.Fprintf(os.Stderr, "scale gate: %d clients × %d params, streaming fold vs buffered baseline...\n",
+		clients, dim)
+	streaming, buffered, ratio, err := bench.ScaleGate(clients, dim, rounds)
+	if err != nil {
+		return fmt.Errorf("scale gate: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "scale gate: streaming peak heap %.1f MiB, buffered %.1f MiB\n",
+		float64(streaming.PeakHeapBytes)/(1<<20), float64(buffered.PeakHeapBytes)/(1<<20))
+	if ratio < 5 {
+		return fmt.Errorf("scale gate: buffered peak heap is only %.1fx the streaming fold's, need ≥5x", ratio)
+	}
+	fmt.Fprintf(os.Stderr, "scale gate: %.1fx peak-heap reduction (need ≥5x)\n", ratio)
+	return nil
+}
+
 func runBench(filter, baselinePath, outPath, note string, gate bool) error {
 	base, err := loadBaseline(baselinePath)
 	if err != nil {

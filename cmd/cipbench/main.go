@@ -42,8 +42,19 @@ func run() error {
 	wireGateFlag := flag.Bool("wire-gate", false,
 		"enforce the wire-path lines on the bench run: ≥10x byte reduction for topk8 vs gob "+
 			"and binary decode no slower than gob")
+	scaleGateFlag := flag.Bool("scale-gate", false,
+		"run the 10k-client streaming-vs-buffered load pair and fail unless the streaming "+
+			"fold's peak heap is ≥5x below the buffered baseline's")
 	flag.Parse()
 
+	if *scaleGateFlag {
+		if err := runScaleGate(); err != nil {
+			return err
+		}
+		if *benchFilter == "" {
+			return nil
+		}
+	}
 	if *benchFilter != "" {
 		return runBench(*benchFilter, *baseline, *benchOut, *benchNote, *wireGateFlag)
 	}

@@ -63,10 +63,14 @@ func run() error {
 		"minimum valid updates per round; >0 enables quorum-based partial aggregation")
 	robustFlags := flcli.RegisterRobustFlags()
 	compressFlags := flcli.RegisterCompressFlags()
+	sampleFlags := flcli.RegisterSampleFlags()
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
 	if err != nil {
+		return err
+	}
+	if err := sampleFlags.Validate(); err != nil {
 		return err
 	}
 	scale := datasets.Quick
@@ -103,9 +107,12 @@ func run() error {
 		return err
 	}
 	var policy *fl.RoundPolicy
-	if robustAgg != nil || reputation != nil || *quorum > 0 || bank != nil {
+	if robustAgg != nil || reputation != nil || *quorum > 0 || bank != nil || *sampleFlags.Frac > 0 {
 		policy = &fl.RoundPolicy{MinQuorum: *quorum, Robust: robustAgg, Reputation: reputation,
-			Compress: bank}
+			Compress: bank, SampleFraction: *sampleFlags.Frac}
+		if *sampleFlags.Frac > 0 && *sampleFlags.Frac < 1 {
+			fmt.Printf("client sampling: %.0f%% of the roster per round\n", 100**sampleFlags.Frac)
+		}
 		if robustAgg != nil {
 			fmt.Printf("robust aggregation: %s\n", robustAgg.Name())
 		}

@@ -1,0 +1,123 @@
+// Command flload is the million-client-scale load generator: it hosts a
+// coordinator and 10⁵+ lightweight in-process clients over in-memory
+// pipes (no sockets, no per-connection file descriptors) and reports
+// round throughput, tail latency, and memory into a BENCH json file.
+//
+// Three phases, each skippable:
+//
+//	flat — one streaming-fold coordinator over the full roster
+//	tree — the same roster sharded across -leaves leaf aggregators
+//	       forwarding weighted partials to a root
+//	gate — a streaming-vs-buffered pair at -gate-clients, measuring the
+//	       peak-heap reduction the streaming fold buys
+//
+// Usage:
+//
+//	flload -out BENCH_PR8.json
+//	flload -clients 100000 -dim 1024 -rounds 5 -phases flat,gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"github.com/cip-fl/cip/internal/bench"
+)
+
+type loadReport struct {
+	Note       string `json:"note,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Flat and Tree are the full-roster streaming runs; GateStreaming and
+	// GateBuffered are the paired memory comparison at the gate size.
+	Flat              *bench.ScaleResult `json:"flat,omitempty"`
+	Tree              *bench.ScaleResult `json:"tree,omitempty"`
+	GateStreaming     *bench.ScaleResult `json:"gate_streaming,omitempty"`
+	GateBuffered      *bench.ScaleResult `json:"gate_buffered,omitempty"`
+	GateHeapReduction float64            `json:"gate_heap_reduction,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flload:", err)
+		os.Exit(1)
+	}
+}
+
+func describe(tag string, r *bench.ScaleResult) {
+	fmt.Fprintf(os.Stderr,
+		"%-14s %7d clients × %5d params, %d rounds: %6.2f rounds/s, p50 %7.1f ms, p99 %7.1f ms, peak heap %6.1f MiB, rss hwm %6.1f MiB\n",
+		tag, r.Clients, r.Dim, r.Rounds, r.RoundsPerSec, r.P50RoundMs, r.P99RoundMs,
+		float64(r.PeakHeapBytes)/(1<<20), float64(r.PeakRSSBytes)/(1<<20))
+}
+
+func run() error {
+	clients := flag.Int("clients", 100000, "roster size of the flat and tree phases")
+	dim := flag.Int("dim", 1024, "parameter-vector length (one dense update is 8·dim bytes)")
+	rounds := flag.Int("rounds", 5, "communication rounds per phase")
+	leavesN := flag.Int("leaves", 4, "leaf aggregators in the tree phase")
+	window := flag.Int("window", 0, "streaming admission window (0 keeps the transport default)")
+	readBuf := flag.Int("readbuf", 256, "per-connection read-buffer bytes (0 keeps bufio's 4 KiB)")
+	gateClients := flag.Int("gate-clients", 10000, "roster size of the gate phase")
+	gateDim := flag.Int("gate-dim", 32768, "parameter-vector length of the gate phase")
+	gateRounds := flag.Int("gate-rounds", 2, "rounds per gate run")
+	phases := flag.String("phases", "flat,tree,gate", "comma-separated phases to run")
+	out := flag.String("out", "", "write the json report here (default stdout)")
+	note := flag.String("note", "", "free-form note embedded in the report")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, p := range strings.Split(*phases, ",") {
+		switch p = strings.TrimSpace(p); p {
+		case "flat", "tree", "gate":
+			want[p] = true
+		case "":
+		default:
+			return fmt.Errorf("unknown phase %q (want flat, tree, gate)", p)
+		}
+	}
+
+	rep := loadReport{Note: *note, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	var err error
+	if want["flat"] {
+		cfg := bench.ScaleConfig{Clients: *clients, Dim: *dim, Rounds: *rounds,
+			Window: *window, ReadBuf: *readBuf}
+		if rep.Flat, err = bench.RunScaleLoad(cfg); err != nil {
+			return fmt.Errorf("flat phase: %w", err)
+		}
+		describe("flat", rep.Flat)
+	}
+	if want["tree"] {
+		cfg := bench.ScaleConfig{Clients: *clients, Dim: *dim, Rounds: *rounds,
+			Window: *window, ReadBuf: *readBuf, Leaves: *leavesN}
+		if rep.Tree, err = bench.RunScaleLoad(cfg); err != nil {
+			return fmt.Errorf("tree phase: %w", err)
+		}
+		describe(fmt.Sprintf("tree(%d)", *leavesN), rep.Tree)
+	}
+	if want["gate"] {
+		rep.GateStreaming, rep.GateBuffered, rep.GateHeapReduction, err =
+			bench.ScaleGate(*gateClients, *gateDim, *gateRounds)
+		if err != nil {
+			return fmt.Errorf("gate phase: %w", err)
+		}
+		describe("gate:stream", rep.GateStreaming)
+		describe("gate:buffered", rep.GateBuffered)
+		fmt.Fprintf(os.Stderr, "gate: buffered peak heap is %.1fx the streaming fold's\n",
+			rep.GateHeapReduction)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(*out, raw, 0o644)
+}

@@ -56,12 +56,22 @@ func run() error {
 		"resume from the snapshot at -checkpoint (fresh start if none exists)")
 	maxUpdateNorm := flag.Float64("max-update-norm", 0,
 		"reject client updates whose L2 norm exceeds this; 0 disables the bound")
+	role := flag.String("role", "flat",
+		"topology role: flat (own the whole client roster), leaf (aggregate a client shard and "+
+			"forward one weighted partial per round to -root), or root (accept one partial per leaf)")
+	rootAddr := flag.String("root", "", "root coordinator address (required with -role leaf)")
+	leafID := flag.Int("leaf-id", 0, "this leaf's ID in the root's roster (with -role leaf)")
+	leaves := flag.Int("leaves", 0, "leaf roster size (with -role root; 0 means -clients)")
 	robustFlags := flcli.RegisterRobustFlags()
 	codecFlag := flcli.RegisterCodecFlag()
+	sampleFlags := flcli.RegisterSampleFlags()
 	flag.Parse()
 
 	codec, err := flcli.ParseCodec(*codecFlag)
 	if err != nil {
+		return err
+	}
+	if err := sampleFlags.Validate(); err != nil {
 		return err
 	}
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -87,18 +97,79 @@ func run() error {
 		return err
 	}
 	coord := &transport.Coordinator{
-		NumClients:    *clients,
-		Rounds:        *rounds,
-		Initial:       nn.FlattenParams(dual.Params()),
-		MinQuorum:     *quorum,
-		RoundTimeout:  *roundTimeout,
-		AcceptWindow:  *acceptWindow,
-		MaxUpdateNorm: *maxUpdateNorm,
-		Codec:         codec,
-		Robust:        robustAgg,
-		Reputation:    reputation,
-		Metrics:       transport.NewMetrics(reg),
-		RoundMetrics:  fl.NewMetrics(reg),
+		NumClients:     *clients,
+		Rounds:         *rounds,
+		Initial:        nn.FlattenParams(dual.Params()),
+		MinQuorum:      *quorum,
+		RoundTimeout:   *roundTimeout,
+		AcceptWindow:   *acceptWindow,
+		MaxUpdateNorm:  *maxUpdateNorm,
+		Codec:          codec,
+		Robust:         robustAgg,
+		Reputation:     reputation,
+		SampleFraction: *sampleFlags.Frac,
+		SampleSeed:     *sampleFlags.Seed,
+		Metrics:        transport.NewMetrics(reg),
+		RoundMetrics:   fl.NewMetrics(reg),
+	}
+	switch *role {
+	case "flat":
+	case "root":
+		// The root of a leaf/root tree: every roster slot is a leaf
+		// aggregator sending one weighted partial per round, and killed
+		// leaves may rejoin at a round boundary.
+		if codec != "binary" {
+			return fmt.Errorf("-role root requires -codec binary (partial frames have no gob spelling)")
+		}
+		coord.AcceptPartials = true
+		coord.AcceptRejoins = true
+		if *leaves > 0 {
+			coord.NumClients = *leaves
+		}
+	case "leaf":
+		if *rootAddr == "" {
+			return fmt.Errorf("-role leaf requires -root (the root coordinator's address)")
+		}
+		if *ckptPath != "" {
+			return fmt.Errorf("-role leaf cannot checkpoint; leaves are stateless — checkpoint the root")
+		}
+		leaf := &transport.Leaf{
+			ID:    *leafID,
+			Root:  *rootAddr,
+			Local: *coord,
+			Retry: transport.RetryConfig{
+				MaxAttempts: 10,
+				Stop:        flcli.ShutdownSignal(),
+			},
+		}
+		fmt.Printf("leaf %d: waiting for %d shard clients, forwarding partials to %s\n",
+			*leafID, *clients, *rootAddr)
+		global, err := leaf.ListenAndRun(*addr, func(a string) {
+			fmt.Printf("listening on %s\n", a)
+		})
+		if err != nil {
+			return err
+		}
+		// Only save when -out was given explicitly: the root owns the
+		// canonical global, and co-located leaves left on the default
+		// path would race each other's atomic rename.
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if outSet {
+			if err := flcli.SaveGlobal(*out, p, scale, *seed, arch, global); err != nil {
+				return err
+			}
+			fmt.Printf("tree federation complete; final root broadcast saved to %s\n", *out)
+		} else {
+			fmt.Println("tree federation complete (the root saves the global; pass -out for a leaf-side copy)")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -role %q (want flat, leaf, or root)", *role)
 	}
 	if robustAgg != nil {
 		fmt.Printf("robust aggregation: %s\n", robustAgg.Name())

@@ -108,6 +108,14 @@ type Server struct {
 	Workers int
 
 	global []float64
+	// fold and spare are the pooled aggregation state: the fold's
+	// accumulator and the output buffer FinalizeInto fills, swapped with
+	// global each round so steady-state aggregation allocates nothing.
+	// Safe because TrainLocal contractually copies the broadcast
+	// parameters (training mutates them) and observers receive a fresh
+	// Global() snapshot, so nothing retains the swapped buffers.
+	fold  *Fold
+	spare []float64
 	// round is the next round index to run; Run loops it up to its total,
 	// so a server restored from a checkpoint continues where it left off.
 	round int
@@ -161,20 +169,36 @@ func (s *Server) RunRound(round int) error {
 	for _, o := range s.Observers {
 		o.ObserveRound(round, s.Global(), updates)
 	}
-	agg, err := Aggregate(updates)
-	if err != nil {
+	if s.fold == nil || cap(s.spare) < len(s.global) {
+		s.fold = NewFold(len(s.global))
+		s.spare = make([]float64, len(s.global))
+	} else {
+		s.fold.Reset(len(s.global))
+		s.spare = s.spare[:len(s.global)]
+	}
+	for _, u := range updates {
+		if err := s.fold.Fold(u); err != nil {
+			return fmt.Errorf("fl: round %d: %w", round, err)
+		}
+	}
+	if err := s.fold.FinalizeInto(s.spare); err != nil {
 		return fmt.Errorf("fl: round %d: %w", round, err)
 	}
-	s.global = agg
+	s.global, s.spare = s.spare, s.global
 	s.round = round + 1
-	s.Metrics.RecordRound(start, len(updates), 0, len(agg))
+	s.Metrics.RecordRound(start, len(updates), 0, len(s.global))
 	s.Metrics.RecordWorkerPool(workers, busy, time.Since(start))
 	return nil
 }
 
-// sampleClients returns this round's participants in stable ID order.
+// sampleClients returns this round's participants in stable ID order. The
+// Server-level SampleFraction wins; when unset, the RoundPolicy's knob
+// (the flag-wired spelling) applies.
 func (s *Server) sampleClients() []Client {
 	f := s.SampleFraction
+	if f <= 0 && s.Policy != nil {
+		f = s.Policy.SampleFraction
+	}
 	if f <= 0 || f >= 1 || len(s.Clients) < 2 {
 		return s.Clients
 	}
@@ -218,36 +242,18 @@ func (s *Server) Run(rounds int) error {
 // Aggregate computes the sample-weighted FedAvg mean of the updates. All
 // update vectors must share one length; a mismatch is reported as an error
 // instead of panicking, so one misbehaving client cannot crash the
-// aggregator.
+// aggregator. It is the batch form of Fold: updates fold in slice order,
+// so the result is bit-identical to a streaming fold over the same order.
 func Aggregate(updates []Update) ([]float64, error) {
 	if len(updates) == 0 {
-		return nil, errors.New("fl: aggregate of zero updates")
+		return nil, errZeroFold
 	}
-	out := make([]float64, len(updates[0].Params))
-	total := 0.0
+	f := NewFold(len(updates[0].Params))
 	for _, u := range updates {
-		if u.Sparse() {
-			// A sparse or delta update folded as if it were dense would
-			// silently misweight every coordinate; demand an explicit
-			// Densify step instead.
-			return nil, fmt.Errorf("fl: aggregate: client %d update is sparse/delta; densify before aggregation",
-				u.ClientID)
-		}
-		if len(u.Params) != len(out) {
-			return nil, fmt.Errorf("fl: aggregate: client %d update has %d params, want %d",
-				u.ClientID, len(u.Params), len(out))
-		}
-		w := float64(u.NumSamples)
-		if w <= 0 {
-			w = 1
-		}
-		total += w
-		for i, v := range u.Params {
-			out[i] += w * v
+		if err := f.Fold(u); err != nil {
+			return nil, err
 		}
 	}
-	for i := range out {
-		out[i] /= total
-	}
-	return out, nil
+	out, _, err := f.Finalize()
+	return out, err
 }

@@ -58,6 +58,12 @@ type Metrics struct {
 	// CompressionRatio is the dense-bytes / wire-bytes ratio of the most
 	// recent compressed update.
 	CompressionRatio *telemetry.Gauge // fl_compression_ratio
+	// RoundPeakUpdateBytes is the peak number of decoded-update bytes held
+	// in aggregator memory at any instant of the most recent round: ~W ×
+	// 8·params under the streaming fold (W = the in-flight window) versus
+	// roster × 8·params under the buffered path — the memory win the
+	// streaming refactor exists for, made observable.
+	RoundPeakUpdateBytes *telemetry.Gauge // fl_round_peak_update_bytes
 
 	// reg backs the lazily registered per-client anomaly-score gauges
 	// (fl_client_anomaly_score{client="N"}).
@@ -104,6 +110,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Wire-body bytes of compressed updates."),
 		CompressionRatio: reg.Gauge("fl_compression_ratio",
 			"Dense-bytes / wire-bytes ratio of the most recent compressed update."),
+		RoundPeakUpdateBytes: reg.Gauge("fl_round_peak_update_bytes",
+			"Peak decoded-update bytes held in aggregator memory during the most recent round."),
 		reg: reg,
 	}
 }
@@ -183,6 +191,15 @@ func (m *Metrics) RecordWorkerPool(workers int, busy, wall time.Duration) {
 		m.WorkerUtilization.Set(busy.Seconds() / (float64(workers) * wall.Seconds()))
 	}
 	m.ClientTrainMillis.Add(uint64(busy.Milliseconds()))
+}
+
+// RecordRoundPeakUpdateBytes records the peak decoded-update bytes a round
+// held in aggregator memory. Nil-safe.
+func (m *Metrics) RecordRoundPeakUpdateBytes(n uint64) {
+	if m == nil {
+		return
+	}
+	m.RoundPeakUpdateBytes.Set(float64(n))
 }
 
 // RecordValidationRejection counts one ValidateUpdate rejection. Nil-safe.

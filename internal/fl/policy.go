@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/cip-fl/cip/internal/fl/compress"
@@ -60,6 +61,14 @@ type RoundPolicy struct {
 	// sampling is enabled), not the full client roster. Values < 1 are
 	// treated as 1.
 	MinQuorum int
+	// SampleFraction, when in (0, 1), trains only that sampled fraction of
+	// the roster each round (McMahan et al.'s client-sampling parameter C);
+	// 0 or ≥ 1 trains everyone. It is the policy-level spelling of
+	// Server.SampleFraction (the Server-level knob wins when both are set)
+	// and what the flserver/ciptrain -sample-frac flag populates. MinQuorum
+	// is checked against the sampled cohort, so f·roster must stay ≥ the
+	// quorum for rounds to proceed.
+	SampleFraction float64
 	// MaxFailures, when > 0, additionally caps how many per-round client
 	// failures are tolerated even if the quorum is still met. 0 means no
 	// cap beyond the quorum check.
@@ -189,22 +198,38 @@ func AggregateRobust(agg robust.Aggregator, center []float64, updates []Update,
 			"%w: %s keeps %d contributors of %d valid updates, need %d",
 			ErrQuorumAfterTrim, agg.Name(), c, len(updates), minQuorum)
 	}
-	params := make([][]float64, len(updates))
-	weights := make([]float64, len(updates))
-	for i, u := range updates {
-		params[i] = u.Params
+	h := headerPool.Get().(*robustHeaders)
+	params, weights := h.params[:0], h.weights[:0]
+	for _, u := range updates {
+		params = append(params, u.Params)
 		w := float64(u.NumSamples)
 		if w <= 0 {
 			w = 1
 		}
-		weights[i] = w
+		weights = append(weights, w)
 	}
 	out, rep, err := agg.Aggregate(center, params, weights)
+	for i := range params {
+		params[i] = nil // drop update references before pooling
+	}
+	h.params, h.weights = params[:0], weights[:0]
+	headerPool.Put(h)
 	if err != nil {
 		return nil, rep, fmt.Errorf("fl: %s aggregation: %w", agg.Name(), err)
 	}
 	return out, rep, nil
 }
+
+// robustHeaders is the pooled params/weights header pair AggregateRobust
+// hands a robust rule; pooling it removes the two per-round header
+// allocations from the steady state (rules only read the headers, so they
+// are safe to recycle as soon as Aggregate returns).
+type robustHeaders struct {
+	params  [][]float64
+	weights []float64
+}
+
+var headerPool = sync.Pool{New: func() any { return new(robustHeaders) }}
 
 // splitQuarantined partitions participants into the clients eligible to
 // train this round and the ClientFailure records of those excluded by an

@@ -101,10 +101,13 @@ func centerAt(center []float64, i int) float64 {
 }
 
 // finiteOr saturates the last-resort overflow cases so no rule ever emits a
-// non-finite aggregate: means are accumulated divide-first (terms bounded by
-// max|v|/n, partial sums by max|v|), but boundary rounding at ±MaxFloat64
-// can still tip a sum over. Inf clamps to ±MaxFloat64; NaN (unreachable by
-// construction, kept as a belt) falls back.
+// non-finite aggregate. Mean and ClippedMean accumulate sum-then-divide (the
+// same operation order a streaming fold performs, so batch and stream stay
+// bit-identical); a sum of finite terms can overflow to ±Inf, which the
+// divide preserves and this clamp turns into ±MaxFloat64. NaN cannot arise
+// from the accumulation itself — a saturated partial sum keeps its sign, so
+// Inf−Inf never happens — but a non-finite center coordinate can inject one
+// through ClippedMean's delta; it falls back.
 func finiteOr(v, fallback float64) float64 {
 	if math.IsInf(v, 1) {
 		return math.MaxFloat64
@@ -116,6 +119,24 @@ func finiteOr(v, fallback float64) float64 {
 		return fallback
 	}
 	return v
+}
+
+// scratchPool recycles the per-block column scratch Median and TrimmedMean
+// sort in, so steady-state rounds stop allocating one slice per block per
+// aggregation.
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getScratch(capHint int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < capHint {
+		*p = make([]float64, 0, capHint)
+	}
+	return p
+}
+
+func putScratch(p *[]float64) {
+	*p = (*p)[:0]
+	scratchPool.Put(p)
 }
 
 // parallelCoords splits [0, dim) into contiguous blocks and runs fn on
@@ -175,27 +196,24 @@ func (m Mean) Aggregate(center []float64, params [][]float64, _ []float64) ([]fl
 	var maxSkipped atomicMax
 	parallelCoords(dim, m.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			// Divide-first accumulation: v/n terms keep every partial sum
-			// within max|v|, so finite-but-huge inputs cannot overflow.
+			// Sum-then-divide in row order: the exact operation sequence
+			// MeanStream performs, so the batch and streaming paths are
+			// bit-identical. Overflow saturates and finiteOr clamps it.
 			n := 0
-			for _, row := range params {
-				if v := row[i]; !math.IsNaN(v) && !math.IsInf(v, 0) {
-					n++
-				}
-			}
-			if n == 0 {
-				out[i] = centerAt(center, i)
-				continue
-			}
 			var sum float64
 			for _, row := range params {
 				v := row[i]
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					continue
 				}
-				sum += v / float64(n)
+				sum += v
+				n++
 			}
-			out[i] = finiteOr(sum, centerAt(center, i))
+			if n == 0 {
+				out[i] = centerAt(center, i)
+				continue
+			}
+			out[i] = finiteOr(sum/float64(n), centerAt(center, i))
 		}
 		skippedInBlock(params, lo, hi, &maxSkipped)
 	})
@@ -228,7 +246,8 @@ func (m Median) Aggregate(center []float64, params [][]float64, _ []float64) ([]
 	out := make([]float64, dim)
 	var maxSkipped atomicMax
 	parallelCoords(dim, m.Workers, func(lo, hi int) {
-		scratch := make([]float64, 0, len(params))
+		sp := getScratch(len(params))
+		scratch := *sp
 		for i := lo; i < hi; i++ {
 			scratch = gatherFinite(scratch[:0], params, i)
 			if len(scratch) == 0 {
@@ -245,6 +264,8 @@ func (m Median) Aggregate(center []float64, params [][]float64, _ []float64) ([]
 				out[i] = scratch[mid-1]/2 + scratch[mid]/2
 			}
 		}
+		*sp = scratch
+		putScratch(sp)
 		skippedInBlock(params, lo, hi, &maxSkipped)
 	})
 	return out, Report{Trimmed: maxSkipped.get(), Contributors: len(params)}, nil
@@ -297,7 +318,8 @@ func (t TrimmedMean) Aggregate(center []float64, params [][]float64, _ []float64
 	out := make([]float64, dim)
 	var maxSkipped atomicMax
 	parallelCoords(dim, t.Workers, func(lo, hi int) {
-		scratch := make([]float64, 0, len(params))
+		sp := getScratch(len(params))
+		scratch := *sp
 		for i := lo; i < hi; i++ {
 			scratch = gatherFinite(scratch[:0], params, i)
 			if len(scratch) == 0 {
@@ -316,6 +338,8 @@ func (t TrimmedMean) Aggregate(center []float64, params [][]float64, _ []float64
 			}
 			out[i] = finiteOr(sum, centerAt(center, i))
 		}
+		*sp = scratch
+		putScratch(sp)
 		skippedInBlock(params, lo, hi, &maxSkipped)
 	})
 	rep := Report{Trimmed: 2*k + maxSkipped.get(), Contributors: t.Contributors(len(params))}
@@ -398,9 +422,12 @@ func (c ClippedMean) Aggregate(center []float64, params [][]float64, _ []float64
 				if !finite[r] || scale[r] == 0 {
 					continue
 				}
-				sum += (row[i] - center[i]) * (scale[r] / float64(nFinite))
+				// Sum-then-divide, matching ClippedStream's fold order for
+				// batch/stream bit-identity (the scale factors are per-row,
+				// so the per-coordinate add sequence is the same).
+				sum += (row[i] - center[i]) * scale[r]
 			}
-			out[i] = finiteOr(center[i]+sum, centerAt(center, i))
+			out[i] = finiteOr(center[i]+sum/float64(nFinite), centerAt(center, i))
 		}
 	})
 	rep := Report{Trimmed: len(params) - nFinite, Clipped: clipped, Contributors: len(params)}

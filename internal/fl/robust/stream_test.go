@@ -1,0 +1,127 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamRows generates a deterministic update matrix with optional
+// non-finite poison, exercising the skip paths of both code shapes.
+func streamRows(rows, dim int, poison bool, seed int64) (center []float64, params [][]float64) {
+	r := rand.New(rand.NewSource(seed))
+	center = make([]float64, dim)
+	for i := range center {
+		center[i] = r.NormFloat64()
+	}
+	params = make([][]float64, rows)
+	for j := range params {
+		row := make([]float64, dim)
+		for i := range row {
+			row[i] = center[i] + r.NormFloat64()*float64(j+1)
+		}
+		if poison && j%3 == 1 {
+			row[r.Intn(dim)] = math.NaN()
+		}
+		if poison && j%4 == 2 {
+			row[r.Intn(dim)] = math.Inf(1 - 2*(j%2))
+		}
+		params[j] = row
+	}
+	return center, params
+}
+
+// TestStreamMatchesBatchBitExact: folding rows one at a time in row order
+// must reproduce the batch rule bit for bit — the contract the transport
+// streaming fold relies on for aggregate determinism. Poisoned inputs
+// exercise the per-coordinate skip bookkeeping on both sides.
+func TestStreamMatchesBatchBitExact(t *testing.T) {
+	rules := []StreamRule{
+		Mean{},
+		Mean{Workers: 3},
+		ClippedMean{MaxNorm: 2.5},
+		ClippedMean{MaxNorm: 0.1, Workers: 2},
+	}
+	for _, rule := range rules {
+		for _, poison := range []bool{false, true} {
+			for _, rows := range []int{1, 2, 7, 32} {
+				center, params := streamRows(rows, 17, poison, int64(rows)*7+1)
+				wantOut, wantRep, err := rule.Aggregate(center, params, nil)
+				if err != nil {
+					t.Fatalf("%s batch: %v", rule.Name(), err)
+				}
+				st := rule.NewStream()
+				st.Reset(center)
+				for _, row := range params {
+					if err := st.Fold(row); err != nil {
+						t.Fatalf("%s fold: %v", rule.Name(), err)
+					}
+				}
+				gotOut, gotRep, err := st.Finalize()
+				if err != nil {
+					t.Fatalf("%s finalize: %v", rule.Name(), err)
+				}
+				if st.Count() != rows {
+					t.Fatalf("%s: stream count %d, want %d", rule.Name(), st.Count(), rows)
+				}
+				if gotRep != wantRep {
+					t.Fatalf("%s rows=%d poison=%v: report %+v, want %+v",
+						rule.Name(), rows, poison, gotRep, wantRep)
+				}
+				for i := range wantOut {
+					if math.Float64bits(gotOut[i]) != math.Float64bits(wantOut[i]) {
+						t.Fatalf("%s rows=%d poison=%v coord %d: stream %v != batch %v",
+							rule.Name(), rows, poison, i, gotOut[i], wantOut[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamReuse: a stream must be reusable across rounds via Reset with
+// no bleed-through from the previous fold.
+func TestStreamReuse(t *testing.T) {
+	rule := ClippedMean{MaxNorm: 1.5}
+	st := rule.NewStream()
+	for round := 0; round < 3; round++ {
+		center, params := streamRows(5, 9, round == 1, int64(round)+41)
+		want, _, err := rule.Aggregate(center, params, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Reset(center)
+		for _, row := range params {
+			if err := st.Fold(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, _, err := st.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("round %d coord %d: %v != %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamErrors: shape violations and empty folds surface as errors,
+// matching the batch rules.
+func TestStreamErrors(t *testing.T) {
+	st := Mean{}.NewStream()
+	st.Reset([]float64{0, 0})
+	if err := st.Fold([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Fold([]float64{1}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	empty := Mean{}.NewStream()
+	empty.Reset([]float64{0})
+	if _, _, err := empty.Finalize(); err == nil {
+		t.Fatal("want ErrNoUpdates on empty finalize")
+	}
+}

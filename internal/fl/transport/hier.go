@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/cip-fl/cip/internal/fl"
+	"github.com/cip-fl/cip/internal/fl/wire"
+)
+
+// Leaf is the mid-tier of a hierarchical aggregation tree: a coordinator
+// for its local client shard and a client of the root. It runs the
+// ordinary coordinator protocol against its roster, but instead of
+// advancing the global itself it forwards one pre-division weighted
+// partial (Σ wᵢ·uᵢ, Σ wᵢ, count) per round to the root over a MsgPartial
+// frame. The root — a Coordinator with AcceptPartials — folds one partial
+// per leaf, so its per-round traffic and memory scale with the number of
+// leaves, not the client population. Because the weighted mean is
+// associative over (sum, weight) pairs, a leaf/root tree computes
+// bit-identically the same aggregate as a flat federation folding the
+// same updates in the same order.
+//
+// Reputation and quarantine stay at the leaf (the only tier that sees
+// individual updates); the root validates each partial structurally and
+// semantically (weight and count positivity, finiteness, implied-mean
+// norm bound) before folding it.
+type Leaf struct {
+	// ID identifies this leaf to the root (its client ID in the root's
+	// roster).
+	ID int
+	// Root is the root coordinator's address, dialed through Retry.
+	Root string
+	// Local configures the shard-facing coordinator: roster size, quorum,
+	// timeouts, codec, sampling, reputation. Rounds is ignored (the root
+	// drives the schedule), and Robust, AcceptPartials, Checkpoint, and
+	// Restore must be unset — partials only compose under the weighted
+	// mean, and leaves are deliberately stateless across rounds (every
+	// round's partial depends only on the root's broadcast).
+	Local Coordinator
+	// Retry controls dialing the root: backoff, jitter, compression-free
+	// binary codec, and the Stop channel for clean shutdown.
+	Retry RetryConfig
+}
+
+// ListenAndRun binds the shard listener on addr and runs the leaf; see
+// RunWithListener.
+func (l *Leaf) ListenAndRun(addr string, ready func(boundAddr string)) ([]float64, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	return l.RunWithListener(ln, ready)
+}
+
+// RunWithListener accepts the local shard roster, joins the root, and
+// relays rounds until the root signals completion: each MsgRound from the
+// root is re-broadcast to the shard, the shard's updates are folded into
+// a weighted partial (streaming when the local configuration allows it),
+// and the partial is sent up. It returns the last globals the root
+// broadcast. A lost root connection is redialed with backoff (the attempt
+// budget refreshing on progress, as in RunClientRetry); a lost local
+// quorum is fatal — a leaf that cannot cover its shard must leave the
+// tree so the root's quorum accounting sees it.
+func (l *Leaf) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([]float64, error) {
+	c := &l.Local
+	switch {
+	case c.Robust != nil:
+		return nil, errors.New("transport: leaf shards cannot use a robust rule: partials only compose under the weighted mean")
+	case c.AcceptPartials:
+		return nil, errors.New("transport: a leaf cannot itself accept partials (single-level trees only)")
+	case c.Checkpoint != nil || c.Restore != nil:
+		return nil, errors.New("transport: leaves are stateless; checkpoint the root instead")
+	}
+	s := &session{
+		c:           c,
+		global:      append([]float64(nil), c.Initial...),
+		failCounts:  make(map[int]int),
+		durable:     -1,
+		wantPartial: true,
+		leafID:      l.ID,
+	}
+	if acc, ok := c.streamingAccumulator(); ok {
+		s.acc = acc
+		s.fold = acc.(*fl.Fold) // Robust is nil, so the accumulator is the mean fold
+	} else {
+		s.fold = fl.NewFold(len(c.Initial))
+	}
+
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	active, err := c.acceptClients(ln, welcome{NextRound: 0}, &s.rxTally, &s.txTally)
+	if err != nil {
+		return nil, err
+	}
+	s.active = active
+	defer s.closeConns()
+	sort.Slice(s.active, func(i, j int) bool { return s.active[i].id < s.active[j].id })
+	if c.AcceptRejoins {
+		s.acceptDone = make(chan struct{})
+		go s.acceptLoop(ln)
+		defer func() {
+			ln.Close() //nolint:errcheck — unblocks the accept loop; double close is benign
+			<-s.acceptDone
+		}()
+	}
+
+	rc := l.Retry.withDefaults()
+	rootToken := ""
+	var lastErr error
+	for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			rc.Metrics.retryAttempt()
+			if !sleepOrStop(rc.backoff(attempt-1), rc.Stop) {
+				return nil, ErrClientStopped
+			}
+		}
+		if stopped(rc.Stop) {
+			return nil, ErrClientStopped
+		}
+		progressed, finished, err := l.rootSession(s, rc, &rootToken)
+		if finished {
+			if derr := s.sendDone(); derr != nil {
+				return nil, derr
+			}
+			return s.global, nil
+		}
+		if errors.Is(err, ErrClientStopped) || errors.As(err, &errFatal{}) {
+			return nil, err
+		}
+		if progressed {
+			attempt = 1 // refresh the backoff budget, as RunClientRetry does
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// rootSession runs one dial-relay session against the root. progressed
+// reports whether at least one round completed (refreshing the retry
+// budget); finished reports a clean MsgDone end.
+func (l *Leaf) rootSession(s *session, rc RetryConfig, rootToken *string) (progressed, finished bool, err error) {
+	conn, err := rc.Dial(l.Root)
+	if err != nil {
+		return false, false, fmt.Errorf("transport: leaf %d dialing root %s: %w", l.ID, l.Root, err)
+	}
+	defer conn.Close()
+	stop := rc.Stop
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				conn.SetReadDeadline(time.Now()) //nolint:errcheck
+			case <-done:
+			}
+		}()
+	}
+	stopErr := func(err error) error {
+		if stopped(stop) {
+			return ErrClientStopped
+		}
+		return err
+	}
+
+	samples := 0
+	for _, cc := range s.active {
+		samples += cc.samples
+	}
+	enc := gob.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	dec := gob.NewDecoder(br)
+	if err := enc.Encode(hello{
+		ID: l.ID, NumSamples: samples, Token: *rootToken,
+		Codec: wire.CodecBinary, Partial: true,
+	}); err != nil {
+		return false, false, stopErr(fmt.Errorf("transport: leaf %d sending hello: %w", l.ID, err))
+	}
+	var w welcome
+	if err := dec.Decode(&w); err != nil {
+		return false, false, stopErr(fmt.Errorf("transport: leaf %d reading welcome: %w", l.ID, err))
+	}
+	if !w.Partial {
+		return false, false, errFatal{fmt.Errorf(
+			"transport: coordinator at %s did not confirm the partial protocol (not a root, or too old)", l.Root)}
+	}
+	if w.Codec != wire.CodecBinary {
+		return false, false, errFatal{errors.New("transport: root accepted partials without the binary codec")}
+	}
+	if *rootToken == "" {
+		*rootToken = w.Token
+	} else if w.Token != *rootToken {
+		return false, false, errFatal{errors.New("transport: root session token changed mid-federation")}
+	}
+
+	for {
+		f, err := wire.ReadFrame(br, clientFrameBudget)
+		if err != nil {
+			return progressed, false, stopErr(fmt.Errorf("transport: leaf %d reading round frame: %w", l.ID, err))
+		}
+		switch f.Type {
+		case wire.MsgDone:
+			f.Release()
+			return progressed, true, nil
+		case wire.MsgRound:
+			round, durable, params, derr := wire.DecodeRound(f.Payload)
+			f.Release()
+			if derr != nil {
+				return progressed, false, errFatal{fmt.Errorf("transport: leaf %d decoding round frame: %w", l.ID, derr)}
+			}
+			// The root's broadcast is this round's center; its durable
+			// announce passes through so shard clients bound their
+			// rollback captures against the root's snapshots.
+			s.global = params
+			s.durable = durable
+			if rerr := s.runRound(round); rerr != nil {
+				// Local quorum loss (or any round failure) is fatal: a
+				// leaf that cannot cover its shard leaves the tree and
+				// lets the root's quorum accounting decide.
+				return progressed, false, errFatal{rerr}
+			}
+			buf := wire.GetBuffer(wire.HeaderLen + wire.PartialPayloadLen(len(s.partial.Sum)))[:0]
+			buf = wire.AppendPartialFrame(buf, s.partial)
+			_, werr := conn.Write(buf)
+			wire.PutBuffer(buf)
+			if werr != nil {
+				return progressed, false, stopErr(fmt.Errorf("transport: leaf %d sending partial: %w", l.ID, werr))
+			}
+			progressed = true
+		default:
+			f.Release()
+			return progressed, false, errFatal{fmt.Errorf("transport: leaf %d: unexpected frame type %d from root", l.ID, f.Type)}
+		}
+	}
+}

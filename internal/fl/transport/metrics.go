@@ -40,6 +40,13 @@ type Metrics struct {
 	// CompressedUpdates counts updates received in a compressed (top-k /
 	// quantized) wire shape.
 	CompressedUpdates *telemetry.Counter // transport_compressed_updates_total
+	// InflightUpdates is the number of client exchanges currently admitted
+	// into the streaming fold window (bounded by MaxInflightUpdates; pairs
+	// with fl_round_peak_update_bytes to make the constant-memory claim
+	// observable).
+	InflightUpdates *telemetry.Gauge // transport_inflight_updates
+	// Partials counts leaf partials accepted into root aggregates.
+	Partials *telemetry.Counter // transport_partials_total
 }
 
 // NewMetrics registers the transport metrics on reg. A nil reg returns
@@ -71,6 +78,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Roster connections kept on the legacy gob codec."),
 		CompressedUpdates: reg.Counter("transport_compressed_updates_total",
 			"Updates received in a compressed wire shape."),
+		InflightUpdates: reg.Gauge("transport_inflight_updates",
+			"Client exchanges currently admitted into the streaming fold window."),
+		Partials: reg.Counter("transport_partials_total",
+			"Leaf partials accepted into root aggregates."),
 	}
 }
 
@@ -83,6 +94,20 @@ func (m *Metrics) codecNegotiated(binary bool) {
 	} else {
 		m.CodecGob.Inc()
 	}
+}
+
+func (m *Metrics) inflight(n int) {
+	if m == nil {
+		return
+	}
+	m.InflightUpdates.Set(float64(n))
+}
+
+func (m *Metrics) partialAccepted() {
+	if m == nil {
+		return
+	}
+	m.Partials.Inc()
 }
 
 func (m *Metrics) compressedUpdate() {

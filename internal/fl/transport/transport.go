@@ -64,8 +64,6 @@ import (
 	"io"
 	"math/rand"
 	"net"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -95,6 +93,14 @@ type hello struct {
 	// TopKFrac is the offered top-k fraction for sparse modes (0 means
 	// the default).
 	TopKFrac float64
+	// Partial offers the hierarchical partial-aggregation protocol: the
+	// peer is a leaf aggregator that answers each round frame with a
+	// MsgPartial (pre-division weighted sums) instead of a MsgUpdate.
+	// Requires the binary codec. Old coordinators never see the field
+	// (gob drops it) and answer with a welcome that lacks the
+	// confirmation, so a leaf dialing a non-root fails loudly instead of
+	// being silently treated as a plain client.
+	Partial bool
 }
 
 // welcome is the coordinator's response to a valid hello.
@@ -115,6 +121,9 @@ type welcome struct {
 	// mode when the session is uncompressed).
 	Compress string
 	TopKFrac float64
+	// Partial confirms the partial-aggregation protocol: this coordinator
+	// is a root that will read MsgPartial answers from the peer.
+	Partial bool
 }
 
 type roundMsg struct {
@@ -241,6 +250,53 @@ type Coordinator struct {
 	// restart does not amnesty an attacker.
 	Reputation *robust.Reputation
 
+	// MaxInflightUpdates bounds how many client exchanges the streaming
+	// fold admits at once (0 means 64). Each admitted exchange holds at
+	// most one decoded update, so peak aggregator memory is
+	// ~MaxInflightUpdates × 8·params regardless of roster size. Rosters
+	// no larger than the window behave exactly like the buffered path:
+	// every client exchanges concurrently and updates fold in client-ID
+	// order.
+	MaxInflightUpdates int
+	// BufferRounds forces the legacy buffered round path (materialize
+	// every update, then aggregate) even for configurations the streaming
+	// fold could serve. The scale harness uses it as its baseline.
+	BufferRounds bool
+	// MaxBufferedUpdates caps the cohort size a buffered round may
+	// materialize (0 = unlimited). Median/TrimmedMean, observers, and
+	// reputation genuinely need the full update column, so their memory
+	// is inherently O(cohort × params); the cap turns a silent OOM into
+	// an explicit configuration error.
+	MaxBufferedUpdates int
+	// SampleFraction, when in (0, 1), samples a per-round cohort of
+	// ~fraction × roster from the registered population: weighted without
+	// replacement by each client's NumSamples, deterministic given
+	// (SampleSeed, round), never below the quorum. Unsampled clients
+	// simply receive no round frame and stay blocked on their next read.
+	SampleFraction float64
+	// SampleSeed seeds the cohort sampler; the per-round stream is
+	// derived statelessly from (SampleSeed, round), so a restarted
+	// coordinator resumes the same cohort schedule.
+	SampleSeed int64
+	// AcceptPartials runs the coordinator as the root of a hierarchical
+	// tier: every roster connection must be a leaf aggregator (hello with
+	// Partial over the binary codec), each round reads one MsgPartial per
+	// leaf, and the global advances by the weighted mean of the leaves'
+	// pre-division sums. Requires a streaming weighted-mean configuration
+	// (no observers, reputation, robust rule, or forced buffering) and
+	// Codec "binary".
+	AcceptPartials bool
+	// AcceptRejoins keeps the listener accepting after the federation
+	// starts: newcomers are handshaked, parked, and admitted into the
+	// roster at the next round boundary (replacing any dead same-ID
+	// entry). This is how a killed-and-restarted leaf re-enters a running
+	// tree.
+	AcceptRejoins bool
+	// ReadBufSize is the per-connection buffered-reader size in bytes (0
+	// means bufio's default 4 KiB). Load harnesses with 10⁵ in-process
+	// connections shrink it so roster memory stays flat.
+	ReadBufSize int
+
 	// Checkpoint, when non-nil, makes the federation durable: a snapshot
 	// of the coordinator state is written through it at the
 	// CheckpointEvery cadence (and on Stop), and round messages announce
@@ -308,6 +364,23 @@ type clientConn struct {
 	// its accepted compression config (Mode None when uncompressed).
 	binary bool
 	cfg    compress.Config
+	// partial marks a leaf-aggregator session: rounds exchange MsgPartial
+	// frames instead of updates.
+	partial bool
+	// hadToken records whether the hello carried a session token (feeds
+	// the rejoin counter on resumed federations).
+	hadToken bool
+}
+
+// newConnReader sizes one connection's buffered reader. The default 4 KiB
+// is right for a handful of TCP peers; a 100k-connection load harness
+// shrinks it so roster memory stays proportional to the window, not the
+// population.
+func newConnReader(r io.Reader, size int) *bufio.Reader {
+	if size > 0 {
+		return bufio.NewReaderSize(r, size)
+	}
+	return bufio.NewReader(r)
 }
 
 // decodeUpdate is the byte-budgeted inbound path for one client update:
@@ -380,56 +453,130 @@ func decodeUpdateFrame(r io.Reader, lim *budgetReader, budget int64, accepted co
 	return u, f.Mode, nil
 }
 
+// roundCtx carries one round's shared exchange parameters. bcast, when
+// non-nil, is the pre-encoded MsgRound frame shared read-only by every
+// binary connection — the per-round encoding cost is paid once, not per
+// client.
+type roundCtx struct {
+	round   int
+	durable int
+	global  []float64
+	bcast   []byte
+	timeout time.Duration
+	budget  int64
+	maxNorm float64
+	met     *Metrics
+}
+
 // exchange runs one round against one client: send the globals, wait for
 // the update, validate it. RoundTimeout (when set) covers the whole
 // exchange through connection deadlines.
-func (cc *clientConn) exchange(round, durable int, global []float64, timeout time.Duration,
-	budget int64, maxNorm float64, met *Metrics, out *fl.Update) error {
-	if timeout > 0 {
-		cc.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
-		defer cc.conn.SetDeadline(time.Time{})       //nolint:errcheck
+func (cc *clientConn) exchange(rc *roundCtx, out *fl.Update) error {
+	if rc.timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(rc.timeout)) //nolint:errcheck
+		defer cc.conn.SetDeadline(time.Time{})          //nolint:errcheck
 	}
 	if cc.binary {
-		return cc.exchangeBinary(round, durable, global, budget, maxNorm, met, out)
+		return cc.exchangeBinary(rc, out)
 	}
-	if err := cc.enc.Encode(roundMsg{Round: round, Params: global, Durable: durable}); err != nil {
-		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
+	if err := cc.enc.Encode(roundMsg{Round: rc.round, Params: rc.global, Durable: rc.durable}); err != nil {
+		return fmt.Errorf("transport: sending round %d to client %d: %w", rc.round, cc.id, err)
 	}
-	u, err := decodeUpdate(cc.dec, cc.lim, budget, cc.id, len(global), maxNorm)
+	u, err := decodeUpdate(cc.dec, cc.lim, rc.budget, cc.id, len(rc.global), rc.maxNorm)
 	if err != nil {
 		if !errors.As(err, &errInvalid{}) {
-			met.decodeFailure()
+			rc.met.decodeFailure()
 			return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
 		}
-		return fmt.Errorf("transport: round %d: %w", round, err)
+		return fmt.Errorf("transport: round %d: %w", rc.round, err)
 	}
 	*out = u
 	return nil
 }
 
-// exchangeBinary is exchange over wire frames: broadcast a pooled
-// MsgRound frame, then decode the (possibly compressed) update.
-func (cc *clientConn) exchangeBinary(round, durable int, global []float64,
-	budget int64, maxNorm float64, met *Metrics, out *fl.Update) error {
-	buf := wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(global)))[:0]
-	buf = wire.AppendRoundFrame(buf, round, durable, global)
-	_, err := cc.w.Write(buf)
-	wire.PutBuffer(buf)
-	if err != nil {
-		return fmt.Errorf("transport: sending round %d to client %d: %w", round, cc.id, err)
+// sendRound writes the MsgRound frame for a binary session, preferring
+// the round's shared broadcast bytes over a per-connection encode.
+func (cc *clientConn) sendRound(rc *roundCtx) error {
+	buf := rc.bcast
+	var pooled []byte
+	if buf == nil {
+		pooled = wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(rc.global)))[:0]
+		pooled = wire.AppendRoundFrame(pooled, rc.round, rc.durable, rc.global)
+		buf = pooled
 	}
-	u, mode, err := decodeUpdateFrame(cc.br, cc.lim, budget, cc.cfg.Mode, cc.id, global, maxNorm)
+	_, err := cc.w.Write(buf)
+	if pooled != nil {
+		wire.PutBuffer(pooled)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: sending round %d to client %d: %w", rc.round, cc.id, err)
+	}
+	return nil
+}
+
+// exchangeBinary is exchange over wire frames: broadcast the MsgRound
+// frame, then decode the (possibly compressed) update.
+func (cc *clientConn) exchangeBinary(rc *roundCtx, out *fl.Update) error {
+	if err := cc.sendRound(rc); err != nil {
+		return err
+	}
+	u, mode, err := decodeUpdateFrame(cc.br, cc.lim, rc.budget, cc.cfg.Mode, cc.id, rc.global, rc.maxNorm)
 	if err != nil {
 		if !errors.As(err, &errInvalid{}) {
-			met.decodeFailure()
+			rc.met.decodeFailure()
 			return fmt.Errorf("transport: reading update from client %d: %w", cc.id, err)
 		}
-		return fmt.Errorf("transport: round %d: %w", round, err)
+		return fmt.Errorf("transport: round %d: %w", rc.round, err)
 	}
 	if mode != compress.None {
-		met.compressedUpdate()
+		rc.met.compressedUpdate()
 	}
 	*out = u
+	return nil
+}
+
+// exchangePartial is the root side of one leaf exchange: broadcast the
+// round frame, then read the MsgPartial carrying the leaf's pre-division
+// weighted sums, structurally decoded and semantically validated (round
+// match, weight/count positivity, finiteness, implied-mean norm bound).
+func (cc *clientConn) exchangePartial(rc *roundCtx, out *fl.Partial) error {
+	if rc.timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(rc.timeout)) //nolint:errcheck
+		defer cc.conn.SetDeadline(time.Time{})          //nolint:errcheck
+	}
+	if err := cc.sendRound(rc); err != nil {
+		return err
+	}
+	cc.lim.allow(wire.HeaderLen + rc.budget)
+	f, err := wire.ReadFrame(cc.br, int(rc.budget))
+	if err != nil {
+		if errors.Is(err, wire.ErrBudget) || errors.Is(err, wire.ErrPayload) ||
+			errors.Is(err, wire.ErrTruncated) {
+			return fmt.Errorf("transport: round %d: %w", rc.round, errInvalid{err})
+		}
+		rc.met.decodeFailure()
+		return fmt.Errorf("transport: reading partial from leaf %d: %w", cc.id, err)
+	}
+	defer f.Release()
+	if f.Type != wire.MsgPartial {
+		return fmt.Errorf("transport: round %d: %w", rc.round,
+			errInvalid{fmt.Errorf("wire: expected partial frame, got type %d", f.Type)})
+	}
+	p, err := wire.DecodePartial(f.Payload)
+	if err != nil {
+		return fmt.Errorf("transport: round %d: %w", rc.round, errInvalid{err})
+	}
+	// The leaf ID is stamped from the authenticated connection, so one
+	// leaf cannot impersonate another in failure accounting.
+	p.LeafID = cc.id
+	if p.Round != rc.round {
+		return fmt.Errorf("transport: round %d: %w", rc.round,
+			errInvalid{fmt.Errorf("fl: leaf %d sent a partial for round %d", cc.id, p.Round)})
+	}
+	if err := fl.ValidatePartial(p, len(rc.global), rc.maxNorm); err != nil {
+		return fmt.Errorf("transport: round %d: %w", rc.round, errInvalid{err})
+	}
+	*out = p
 	return nil
 }
 
@@ -472,6 +619,75 @@ func (c *Coordinator) negotiate(h hello) (binary bool, cfg compress.Config, err 
 	return binary, compress.Config{Mode: mode, TopKFrac: h.TopKFrac}.WithDefaults(), nil
 }
 
+// handshake performs the server side of one connection's gob handshake:
+// read the hello under the byte budget, enforce the session token, and
+// settle codec/compression/partial. It deliberately does NOT send the
+// welcome — rejoin admission defers the welcome to a round boundary,
+// where the promised NextRound is stable.
+func (c *Coordinator) handshake(conn net.Conn, token string, rxTally, txTally *uint64) (*clientConn, error) {
+	lim := &budgetReader{r: conn, bytes: c.Metrics.decodeBytesCounter(), tally: rxTally}
+	cw := &countWriter{w: conn, bytes: c.Metrics.txBytesCounter(), tally: txTally}
+	br := newConnReader(lim, c.ReadBufSize)
+	cc := &clientConn{
+		enc:  gob.NewEncoder(cw),
+		dec:  gob.NewDecoder(br),
+		lim:  lim,
+		br:   br,
+		w:    cw,
+		conn: conn,
+	}
+	lim.allow(maxHelloBytes)
+	var h hello
+	if err := cc.dec.Decode(&h); err != nil {
+		c.Metrics.decodeFailure()
+		return nil, fmt.Errorf("transport: reading hello: %w", err)
+	}
+	if h.Token != "" && h.Token != token {
+		// A client from some other (or stale) session; admitting it
+		// would silently break resume bit-identity.
+		return nil, fmt.Errorf("transport: client %d presented an unknown session token", h.ID)
+	}
+	binary, cfg, err := c.negotiate(h)
+	if err != nil {
+		return nil, err
+	}
+	partial := h.Partial
+	if partial && c.AcceptPartials && !binary {
+		return nil, fmt.Errorf("transport: leaf %d offered partials without the binary codec", h.ID)
+	}
+	if partial && !c.AcceptPartials {
+		// A leaf dialed a plain coordinator: decline the offer in the
+		// welcome; the leaf sees the missing confirmation and bails.
+		partial = false
+	}
+	if c.AcceptPartials && !partial {
+		return nil, fmt.Errorf("transport: client %d does not speak the partial protocol this root requires", h.ID)
+	}
+	cc.id = h.ID
+	cc.samples = h.NumSamples
+	cc.binary = binary
+	cc.cfg = cfg
+	cc.partial = partial
+	cc.hadToken = h.Token != ""
+	return cc, nil
+}
+
+// welcomeFor specializes the session welcome for one connection: it
+// carries the codec, compression, and partial-protocol confirmation that
+// particular handshake settled on, so mixed rosters (old gob clients
+// beside compressed binary ones) are first-class.
+func (c *Coordinator) welcomeFor(cc *clientConn, w welcome) welcome {
+	if cc.binary {
+		w.Codec = wire.CodecBinary
+		if cc.cfg.Mode != compress.None {
+			w.Compress = cc.cfg.Mode.String()
+			w.TopKFrac = cc.cfg.TopKFrac
+		}
+	}
+	w.Partial = cc.partial
+	return w
+}
+
 // acceptClients collects the initial roster, answering each valid hello
 // with a welcome carrying the session token, resume round, and the
 // settled codec/compression for that client. Any connection accepted
@@ -510,81 +726,30 @@ func (c *Coordinator) acceptClients(ln net.Listener, w welcome, rxTally, txTally
 		if !deadline.IsZero() {
 			conn.SetReadDeadline(deadline) //nolint:errcheck
 		}
-		lim := &budgetReader{r: conn, bytes: c.Metrics.decodeBytesCounter(), tally: rxTally}
-		cw := &countWriter{w: conn, bytes: c.Metrics.txBytesCounter(), tally: txTally}
-		br := bufio.NewReader(lim)
-		cc := &clientConn{
-			enc:  gob.NewEncoder(cw),
-			dec:  gob.NewDecoder(br),
-			lim:  lim,
-			br:   br,
-			w:    cw,
-			conn: conn,
+		cc, herr := c.handshake(conn, w.Token, rxTally, txTally)
+		if herr == nil && seen[cc.id] {
+			herr = fmt.Errorf("transport: duplicate client id %d", cc.id)
 		}
-		lim.allow(maxHelloBytes)
-		var h hello
-		if err := cc.dec.Decode(&h); err != nil {
-			c.Metrics.decodeFailure()
+		if herr == nil {
+			if werr := cc.enc.Encode(c.welcomeFor(cc, w)); werr != nil {
+				herr = fmt.Errorf("transport: sending welcome to client %d: %w", cc.id, werr)
+			}
+		}
+		if herr != nil {
 			conn.Close()
 			if c.faultTolerant() {
 				continue // tolerate a bad peer; keep waiting for the rest
 			}
-			return conns, fmt.Errorf("transport: reading hello: %w", err)
+			return conns, herr
 		}
-		if seen[h.ID] {
-			conn.Close()
-			if c.faultTolerant() {
-				continue
-			}
-			return conns, fmt.Errorf("transport: duplicate client id %d", h.ID)
-		}
-		if h.Token != "" && h.Token != w.Token {
-			// A client from some other (or stale) session; admitting it
-			// would silently break resume bit-identity.
-			conn.Close()
-			if c.faultTolerant() {
-				continue
-			}
-			return conns, fmt.Errorf("transport: client %d presented an unknown session token", h.ID)
-		}
-		binary, cfg, err := c.negotiate(h)
-		if err != nil {
-			conn.Close()
-			if c.faultTolerant() {
-				continue
-			}
-			return conns, err
-		}
-		// The welcome is per-client: it carries the codec and compression
-		// this particular session settled on, so mixed rosters (old gob
-		// clients beside compressed binary ones) are first-class.
-		wc := w
-		if binary {
-			wc.Codec = wire.CodecBinary
-			if cfg.Mode != compress.None {
-				wc.Compress = cfg.Mode.String()
-				wc.TopKFrac = cfg.TopKFrac
-			}
-		}
-		if err := cc.enc.Encode(wc); err != nil {
-			conn.Close()
-			if c.faultTolerant() {
-				continue
-			}
-			return conns, fmt.Errorf("transport: sending welcome to client %d: %w", h.ID, err)
-		}
-		if h.Token != "" && w.Resumed {
+		if cc.hadToken && w.Resumed {
 			c.Metrics.rejoin()
 		}
-		seen[h.ID] = true
+		seen[cc.id] = true
 		conn.SetReadDeadline(time.Time{}) //nolint:errcheck
-		cc.id = h.ID
-		cc.samples = h.NumSamples
-		cc.binary = binary
-		cc.cfg = cfg
 		conns = append(conns, cc)
 		c.Metrics.connAccepted()
-		c.Metrics.codecNegotiated(binary)
+		c.Metrics.codecNegotiated(cc.binary)
 	}
 	return conns, nil
 }
@@ -609,241 +774,12 @@ func newToken() (string, error) {
 // constructed with Restore continues a previous session where its last
 // snapshot left off.
 func (c *Coordinator) ListenAndRun(addr string, ready func(boundAddr string)) ([]float64, error) {
-	global := make([]float64, len(c.Initial))
-	copy(global, c.Initial)
-	startRound := 0
-	token := ""
-	failCounts := make(map[int]int)
-	if c.Restore != nil {
-		st := &c.Restore.State
-		if len(st.Global) != len(c.Initial) {
-			return nil, fmt.Errorf("transport: snapshot has %d global params, coordinator expects %d",
-				len(st.Global), len(c.Initial))
-		}
-		copy(global, st.Global)
-		startRound = st.NextRound
-		token = c.Restore.Token
-		for id, n := range st.FailCounts {
-			failCounts[id] = n
-		}
-		if c.Reputation != nil && st.Reputation != nil {
-			if err := c.Reputation.Restore(st.Reputation); err != nil {
-				return nil, fmt.Errorf("transport: restoring reputation state: %w", err)
-			}
-		}
-	} else if c.Checkpoint != nil {
-		t, err := newToken()
-		if err != nil {
-			return nil, err
-		}
-		token = t
-	}
-	// durable is the highest round covered by a snapshot on disk.
-	durable := startRound - 1
-	every := c.CheckpointEvery
-	if every < 1 {
-		every = 1
-	}
-	saveSnapshot := func(nextRound int) error {
-		if c.Checkpoint == nil {
-			return nil
-		}
-		snap := &checkpoint.Snapshot{Token: token}
-		snap.State.NextRound = nextRound
-		snap.State.Global = append([]float64(nil), global...)
-		if len(failCounts) > 0 {
-			snap.State.FailCounts = make(map[int]int, len(failCounts))
-			for id, n := range failCounts {
-				snap.State.FailCounts[id] = n
-			}
-		}
-		if c.Reputation != nil {
-			blob, err := c.Reputation.Snapshot()
-			if err != nil {
-				return fmt.Errorf("transport: capturing reputation state: %w", err)
-			}
-			snap.State.Reputation = blob
-		}
-		if err := c.Checkpoint.Save(snap); err != nil {
-			return fmt.Errorf("transport: checkpoint after round %d: %w", nextRound-1, err)
-		}
-		durable = nextRound - 1
-		return nil
-	}
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	defer ln.Close()
-	if ready != nil {
-		ready(ln.Addr().String())
-	}
-
-	// rxTally/txTally accumulate every wire byte either direction; the
-	// per-round delta lands in the transport_round_bytes gauge.
-	var rxTally, txTally uint64
-	active, err := c.acceptClients(ln, welcome{
-		Token: token, NextRound: startRound, Resumed: c.Restore != nil,
-	}, &rxTally, &txTally)
-	if err != nil {
-		return nil, err
-	}
-	defer func() {
-		for _, cc := range active {
-			cc.conn.Close()
-		}
-	}()
-	// Deterministic aggregation order regardless of connect order.
-	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
-
-	for round := startRound; round < c.Rounds; round++ {
-		roundStart := time.Now()
-		bytesBefore := atomic.LoadUint64(&rxTally) + atomic.LoadUint64(&txTally)
-		// Quarantined clients are skipped for the round: no round message,
-		// no update, no influence. Their connections stay open so a later
-		// probation can re-admit them without a reconnect.
-		exchangers := active
-		var blocked []*clientConn
-		var failures []fl.ClientFailure
-		if c.Reputation != nil {
-			exchangers = make([]*clientConn, 0, len(active))
-			for _, cc := range active {
-				if c.Reputation.Blocked(cc.id) {
-					blocked = append(blocked, cc)
-					failures = append(failures, fl.ClientFailure{
-						ClientID: cc.id, Round: round, Reason: fl.FailQuarantined,
-						Err: fmt.Errorf("transport: client %d is quarantined", cc.id),
-					})
-					continue
-				}
-				exchangers = append(exchangers, cc)
-			}
-		}
-		updates := make([]fl.Update, len(exchangers))
-		errs := make([]error, len(exchangers))
-		var wg sync.WaitGroup
-		for i, cc := range exchangers {
-			wg.Add(1)
-			go func(i int, cc *clientConn) {
-				defer wg.Done()
-				errs[i] = cc.exchange(round, durable, global, c.RoundTimeout, c.updateBudget(),
-					c.MaxUpdateNorm, c.Metrics, &updates[i])
-			}(i, cc)
-		}
-		wg.Wait()
-
-		valid := make([]fl.Update, 0, len(exchangers))
-		survivors := make([]*clientConn, 0, len(exchangers))
-		for i, cc := range exchangers {
-			if err := errs[i]; err != nil {
-				if !c.faultTolerant() {
-					return nil, err
-				}
-				cc.conn.Close()
-				reason := failureReason(err)
-				switch reason {
-				case fl.FailTimeout:
-					c.Metrics.stragglerDropped()
-				case fl.FailInvalid:
-					c.RoundMetrics.RecordValidationRejection()
-					if c.Reputation != nil {
-						c.Reputation.ObserveViolation(cc.id)
-					}
-				}
-				failures = append(failures, fl.ClientFailure{
-					ClientID: cc.id, Round: round, Reason: reason, Err: err,
-				})
-				failCounts[cc.id]++
-				continue
-			}
-			valid = append(valid, updates[i])
-			survivors = append(survivors, cc)
-		}
-		active = append(survivors, blocked...)
-		sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
-		if len(valid) < c.quorum() {
-			return nil, fmt.Errorf("transport: round %d: quorum lost: %d valid updates, need %d",
-				round, len(valid), c.quorum())
-		}
-
-		snapshot := make([]float64, len(global))
-		copy(snapshot, global)
-		for _, o := range c.Observers {
-			if fo, ok := o.(fl.FailureObserver); ok {
-				fo.ObserveFailures(round, failures)
-			}
-		}
-		for _, o := range c.Observers {
-			o.ObserveRound(round, snapshot, valid)
-		}
-		agg, report, err := fl.AggregateRobust(c.Robust, global, valid, c.MinQuorum)
-		if err != nil {
-			return nil, fmt.Errorf("transport: round %d: %w", round, err)
-		}
-		if c.Reputation != nil {
-			ids := make([]int, len(valid))
-			params := make([][]float64, len(valid))
-			for i, u := range valid {
-				ids[i] = u.ClientID
-				params[i] = u.Params
-			}
-			c.Reputation.ObserveDeviations(ids, robust.Distances(agg, params))
-			roundIDs := ids
-			for _, f := range failures {
-				if f.Reason != fl.FailQuarantined {
-					roundIDs = append(roundIDs, f.ClientID)
-				}
-			}
-			c.Reputation.EndRound(roundIDs)
-		}
-		global = agg
-		c.Metrics.roundBytes(atomic.LoadUint64(&rxTally) + atomic.LoadUint64(&txTally) - bytesBefore)
-		c.RoundMetrics.RecordRound(roundStart, len(valid), len(failures), len(agg))
-		c.RoundMetrics.RecordRobust(report)
-		c.RoundMetrics.RecordReputation(c.Reputation)
-
-		wrote := false
-		if c.Checkpoint != nil && ((round+1)%every == 0 || round == c.Rounds-1) {
-			if err := saveSnapshot(round + 1); err != nil {
-				return nil, err
-			}
-			wrote = true
-		}
-		if c.AfterRound != nil {
-			if err := c.AfterRound(round); err != nil {
-				return nil, err
-			}
-		}
-		if c.Stop != nil {
-			select {
-			case <-c.Stop:
-				if !wrote {
-					if err := saveSnapshot(round + 1); err != nil {
-						return nil, err
-					}
-				}
-				return nil, fl.ErrStopped
-			default:
-			}
-		}
-	}
-
-	for _, cc := range active {
-		if c.RoundTimeout > 0 {
-			cc.conn.SetWriteDeadline(time.Now().Add(c.RoundTimeout)) //nolint:errcheck
-		}
-		var err error
-		if cc.binary {
-			_, err = cc.w.Write(wire.AppendDoneFrame(nil))
-		} else {
-			err = cc.enc.Encode(roundMsg{Done: true})
-		}
-		if err != nil && !c.faultTolerant() {
-			return nil, fmt.Errorf("transport: sending done to client %d: %w", cc.id, err)
-		}
-	}
-	return global, nil
+	return c.RunWithListener(ln, ready)
 }
 
 // RetryConfig controls RunClientRetry's dial behavior: attempts, the

@@ -39,13 +39,24 @@ import (
 //
 // Done (MsgDone): empty payload.
 //
+// Partial (MsgPartial, mode always None) — a leaf aggregator's
+// pre-division contribution for one round:
+//
+//	round   uint32
+//	leafID  uint32
+//	count   uint32  (client updates folded into the sums)
+//	weight  float64 (total FedAvg weight Σ w)
+//	n       uint32  (parameter count)
+//	sum     n × float64 (weighted parameter sums Σ w·v)
+//
 // Every decoder validates the exact size arithmetic before touching the
 // body, allocates nothing larger than ~8× the received payload, and runs
 // under a panic guard — the update path parses attacker-controlled bytes.
 
 const (
-	roundHeadLen  = 12
-	updateHeadLen = 20
+	roundHeadLen   = 12
+	updateHeadLen  = 20
+	partialHeadLen = 24
 )
 
 func appendU32(dst []byte, v uint32) []byte {
@@ -107,6 +118,46 @@ func DecodeRound(payload []byte) (round, durable int, params []float64, err erro
 		params[i] = getF64(payload[roundHeadLen+8*i:])
 	}
 	return round, durable, params, nil
+}
+
+// PartialPayloadLen returns the partial payload size for n parameters.
+func PartialPayloadLen(n int) int { return partialHeadLen + 8*n }
+
+// AppendPartialFrame appends a complete MsgPartial frame carrying a leaf's
+// pre-division weighted sums for one round.
+func AppendPartialFrame(dst []byte, p fl.Partial) []byte {
+	dst = AppendHeader(dst, MsgPartial, compress.None, PartialPayloadLen(len(p.Sum)))
+	dst = appendU32(dst, uint32(p.Round))
+	dst = appendU32(dst, uint32(p.LeafID))
+	dst = appendU32(dst, uint32(p.Count))
+	dst = appendF64(dst, p.Weight)
+	dst = appendU32(dst, uint32(len(p.Sum)))
+	return appendF64s(dst, p.Sum)
+}
+
+// DecodePartial parses a MsgPartial payload. Like the update decoder it
+// performs only the structural checks (exact size arithmetic, panic
+// guard); semantic validation (weight/count positivity, finiteness, the
+// implied-mean norm bound) is fl.ValidatePartial's job at the root.
+func DecodePartial(payload []byte) (p fl.Partial, err error) {
+	defer recoverDecode(&err)
+	if len(payload) < partialHeadLen {
+		return fl.Partial{}, fmt.Errorf("%w: partial payload of %d bytes", ErrTruncated, len(payload))
+	}
+	p.Round = int(getU32(payload[0:]))
+	p.LeafID = int(getU32(payload[4:]))
+	p.Count = int(int32(getU32(payload[8:])))
+	p.Weight = getF64(payload[12:])
+	n := int(getU32(payload[20:]))
+	if len(payload) != PartialPayloadLen(n) {
+		return fl.Partial{}, fmt.Errorf("%w: partial declares %d params in %d bytes, want %d",
+			ErrPayload, n, len(payload), PartialPayloadLen(n))
+	}
+	p.Sum = make([]float64, n)
+	for i := range p.Sum {
+		p.Sum[i] = getF64(payload[partialHeadLen+8*i:])
+	}
+	return p, nil
 }
 
 // UpdatePayloadLen returns the update payload size for a dense length and

@@ -79,6 +79,15 @@ func FuzzDecodeFrame(f *testing.F) {
 			if dense, err := fl.Densify(u, global); err == nil && dense.Sparse() {
 				t.Fatal("densify returned a sparse update without error")
 			}
+		case MsgPartial:
+			if p, err := DecodePartial(fr.Payload); err == nil {
+				if 8*len(p.Sum) > len(fr.Payload) {
+					t.Fatalf("partial decode expanded %d payload bytes to %d sums",
+						len(fr.Payload), len(p.Sum))
+				}
+				// Semantic validation must classify-or-error, never panic.
+				_ = fl.ValidatePartial(p, len(p.Sum), 1e6)
+			}
 		}
 	})
 }

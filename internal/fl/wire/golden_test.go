@@ -34,6 +34,9 @@ func goldenFrames(t *testing.T) map[string][]byte {
 	frames := map[string][]byte{
 		"v1_round": AppendRoundFrame(nil, 3, 1, goldenVector()),
 		"v1_done":  AppendDoneFrame(nil),
+		"v1_partial": AppendPartialFrame(nil, fl.Partial{
+			LeafID: 2, Round: 3, Sum: goldenVector(), Weight: 40, Count: 4,
+		}),
 	}
 	global := goldenGlobal()
 	params := goldenVector()
@@ -139,6 +142,10 @@ func TestGoldenFramesDecode(t *testing.T) {
 		case MsgDone:
 			if len(f.Payload) != 0 {
 				t.Errorf("%s: done frame carries %d payload bytes", path, len(f.Payload))
+			}
+		case MsgPartial:
+			if _, err := DecodePartial(f.Payload); err != nil {
+				t.Errorf("%s: DecodePartial: %v", path, err)
 			}
 		}
 		f.Release()

@@ -8,7 +8,7 @@
 //	offset  size  field
 //	0       1     magic 0xCF
 //	1       1     version (currently 1)
-//	2       1     frame type (1=round, 2=update, 3=done)
+//	2       1     frame type (1=round, 2=update, 3=done, 4=partial)
 //	3       1     compression mode (compress.Mode; 0 except on updates)
 //	4       4     payload length, uint32
 //	8       n     payload
@@ -52,6 +52,10 @@ const (
 	MsgUpdate = 2
 	// MsgDone tells a client the federation is complete.
 	MsgDone = 3
+	// MsgPartial carries one leaf aggregator's pre-division weighted sums
+	// for a round (hierarchical aggregation; negotiated via the hello/
+	// welcome Partial capability, so old peers never see it).
+	MsgPartial = 4
 )
 
 // Codec names for flag/handshake use.
@@ -110,7 +114,7 @@ func ReadFrame(r io.Reader, budget int) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d (speaking %d)", ErrVersion, hdr[1], Version)
 	}
 	typ := hdr[2]
-	if typ != MsgRound && typ != MsgUpdate && typ != MsgDone {
+	if typ != MsgRound && typ != MsgUpdate && typ != MsgDone && typ != MsgPartial {
 		return Frame{}, fmt.Errorf("%w: %d", ErrFrameType, typ)
 	}
 	mode := compress.Mode(hdr[3])
