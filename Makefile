@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # whatever `staticcheck` is on PATH (and skip cleanly when there is none).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet staticcheck fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke wirecheck benchwire benchscale scalegate check
+.PHONY: build test race vet staticcheck crosscheck fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke wirecheck benchwire benchscale scalegate benchprecision check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
 	fi
+
+# crosscheck compiles and vets the arm64 build without needing arm64
+# hardware: the NEON micro-kernels (kernel_arm64.s) only assemble under
+# GOARCH=arm64, so an amd64-only CI pass would let them rot.
+crosscheck:
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=arm64 $(GO) vet ./...
 
 # The race detector slows the heavyweight experiment replays ~10-20x past
 # the default go-test timeout; they honor -short and are covered without
@@ -82,6 +89,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRobustAggregate -fuzztime=$(FUZZTIME) ./internal/fl/robust
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/fl/wire
 	$(GO) test -run='^$$' -fuzz=FuzzDecompressUpdate -fuzztime=$(FUZZTIME) ./internal/fl/wire
+	$(GO) test -run='^$$' -fuzz=FuzzNarrowWidenValidate -fuzztime=$(FUZZTIME) ./internal/fl
 
 # bench regenerates the tracked perf report against the committed seed
 # baseline. The same workloads run under plain `go test -bench` in
@@ -139,7 +147,18 @@ benchscale:
 scalegate:
 	$(GO) run ./cmd/cipbench -scale-gate
 
-# check is the full CI gate: static analysis, the race-enabled suite, a
-# short fuzz burst, the crash-harness smoke, the byzantine smoke, the
-# wire-path conformance sweep, and the bench-harness smoke.
-check: vet staticcheck race fuzz chaossmoke byzsmoke wirecheck benchsmoke
+# benchprecision regenerates the float32-tier report and holds the
+# precision gate: MatMul256-f32 ≥2x over MatMul256, the f32 Fig. 4 sweep
+# faster end-to-end, and a quick federated run per precision landing
+# within the final-accuracy tolerance. Minutes-long; not in check.
+benchprecision:
+	$(GO) run ./cmd/cipbench -bench 'MatMul256|ConvLowering|Relu|BiasAxpy|Fig4ClientsSweep' \
+		-precision-gate \
+		-bench-out BENCH_PR9.json \
+		-bench-note "float32 compute tier PR: dual-precision GEMM, AVX2/NEON f32 kernels"
+
+# check is the full CI gate: static analysis, the arm64 cross-compile,
+# the race-enabled suite, a short fuzz burst, the crash-harness smoke,
+# the byzantine smoke, the wire-path conformance sweep, and the
+# bench-harness smoke.
+check: vet staticcheck crosscheck race fuzz chaossmoke byzsmoke wirecheck benchsmoke

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -37,12 +38,18 @@ type benchResult struct {
 }
 
 // benchReport is the BENCH_*.json schema. A report is a valid -baseline
-// input for the next one.
+// input for the next one. The host block records what actually produced
+// the numbers — architecture, CPU count, and the SIMD features the active
+// micro-kernels dispatched to — so cross-machine comparisons are explicit
+// rather than accidental.
 type benchReport struct {
-	Note       string        `json:"note,omitempty"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	FMAKernel  bool          `json:"fma_kernel"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Note        string        `json:"note,omitempty"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	GoArch      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	CPUFeatures []string      `json:"cpu_features,omitempty"`
+	FMAKernel   bool          `json:"fma_kernel"`
+	Benchmarks  []benchResult `json:"benchmarks"`
 }
 
 func loadBaseline(path string) (map[string]benchNumbers, error) {
@@ -95,6 +102,64 @@ func wireGate(rep *benchReport) error {
 	return nil
 }
 
+// fig4AccuracyTolerance bounds |acc_f64 - acc_f32| on the quick Fig. 4
+// federation. The quick-scale run lands around 0.3 accuracy; float32
+// rounding perturbs individual SGD trajectories, so the two precisions
+// are compared as experiments, not bit patterns.
+const fig4AccuracyTolerance = 0.05
+
+// precisionGate enforces the float32 compute tier's regression lines on a
+// finished report: the headline f32 GEMM must run ≥2x faster than the f64
+// one (the 8-lane kernel doubles FLOPs per register over the 4-lane f64
+// kernel, so anything under 2x means the kernel lost its shape), the f32
+// federation sweep must be faster than the f64 sweep, and a fresh
+// accuracy-parity run must land both precisions within tolerance on the
+// quick Fig. 4 federation.
+func precisionGate(rep *benchReport) error {
+	byOp := make(map[string]benchNumbers, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byOp[b.Op] = b.benchNumbers
+	}
+	mm64, ok64 := byOp["MatMul256"]
+	mm32, ok32 := byOp["MatMul256-f32"]
+	if !ok64 || !ok32 {
+		return fmt.Errorf("precision gate needs MatMul256 and MatMul256-f32 in the run (filter too narrow?)")
+	}
+	if mm32.NsPerOp <= 0 {
+		return fmt.Errorf("precision gate: MatMul256-f32 reported no time")
+	}
+	ratio := mm64.NsPerOp / mm32.NsPerOp
+	if ratio < 2 {
+		return fmt.Errorf("precision gate: MatMul256-f32 is only %.2fx faster than MatMul256, need ≥2x", ratio)
+	}
+	fmt.Fprintf(os.Stderr, "precision gate: MatMul256 f32 %.2fx faster than f64 (%.2f vs %.2f GFLOP/s)\n",
+		ratio, 2*256*256*256/mm32.NsPerOp, 2*256*256*256/mm64.NsPerOp)
+	sweep64, okS64 := byOp["Fig4ClientsSweep"]
+	sweep32, okS32 := byOp["Fig4ClientsSweep-f32"]
+	if !okS64 || !okS32 {
+		return fmt.Errorf("precision gate needs Fig4ClientsSweep and Fig4ClientsSweep-f32 in the run")
+	}
+	if sweep32.NsPerOp >= sweep64.NsPerOp {
+		return fmt.Errorf("precision gate: f32 federation sweep (%.0f ns/op) is not faster than f64's (%.0f ns/op)",
+			sweep32.NsPerOp, sweep64.NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "precision gate: Fig4ClientsSweep f32 %.2fx faster than f64\n",
+		sweep64.NsPerOp/sweep32.NsPerOp)
+
+	fmt.Fprintln(os.Stderr, "precision gate: training quick Fig. 4 federation at both precisions...")
+	acc64, acc32, err := bench.Fig4AccuracyParity()
+	if err != nil {
+		return fmt.Errorf("precision gate: %w", err)
+	}
+	if diff := math.Abs(acc64 - acc32); diff > fig4AccuracyTolerance {
+		return fmt.Errorf("precision gate: Fig. 4 accuracy diverges across precisions: f64 %.4f vs f32 %.4f (|Δ|=%.4f > %.2f)",
+			acc64, acc32, diff, fig4AccuracyTolerance)
+	}
+	fmt.Fprintf(os.Stderr, "precision gate: Fig. 4 accuracy f64 %.4f, f32 %.4f (|Δ| ≤ %.2f)\n",
+		acc64, acc32, fig4AccuracyTolerance)
+	return nil
+}
+
 // runScaleGate is the coordinator-memory regression line: at 10k clients
 // the streaming fold's peak heap footprint must be ≥5x below the
 // buffered baseline's, or the O(roster × params) materialization has
@@ -116,18 +181,36 @@ func runScaleGate() error {
 	return nil
 }
 
-func runBench(filter, baselinePath, outPath, note string, gate bool) error {
+// matchesFilter reports whether a benchmark name passes the -bench
+// filter: "all" passes everything, otherwise the filter is a
+// '|'-separated list of substrings and any one match suffices.
+func matchesFilter(name, filter string) bool {
+	if filter == "all" {
+		return true
+	}
+	for _, part := range strings.Split(filter, "|") {
+		if strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBench(filter, baselinePath, outPath, note string, gate, precGate bool) error {
 	base, err := loadBaseline(baselinePath)
 	if err != nil {
 		return err
 	}
 	rep := benchReport{
-		Note:       note,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		FMAKernel:  tensor.HasFMAKernel(),
+		Note:        note,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		CPUFeatures: tensor.KernelFeatures(),
+		FMAKernel:   tensor.HasFMAKernel(),
 	}
 	for _, s := range bench.Specs() {
-		if filter != "all" && !strings.Contains(s.Name, filter) {
+		if !matchesFilter(s.Name, filter) {
 			continue
 		}
 		r := testing.Benchmark(s.Fn)
@@ -169,6 +252,11 @@ func runBench(filter, baselinePath, outPath, note string, gate bool) error {
 	}
 	if gate {
 		if err := wireGate(&rep); err != nil {
+			return err
+		}
+	}
+	if precGate {
+		if err := precisionGate(&rep); err != nil {
 			return err
 		}
 	}

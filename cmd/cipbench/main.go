@@ -15,6 +15,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/datasets"
 	"github.com/cip-fl/cip/internal/experiments"
+	"github.com/cip-fl/cip/internal/flcli"
 )
 
 func main() {
@@ -34,7 +35,7 @@ func run() error {
 			"so an interrupted sweep resumes from the finished cells; empty disables caching")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	benchFilter := flag.String("bench", "",
-		"run tracked perf workloads (substring match, 'all' for every one) and emit a BENCH json report")
+		"run tracked perf workloads ('|'-separated substring match, 'all' for every one) and emit a BENCH json report")
 	benchOut := flag.String("bench-out", "", "write the bench report to this file (default stdout)")
 	baseline := flag.String("baseline", "",
 		"previous bench report whose numbers become each op's 'before'")
@@ -45,7 +46,16 @@ func run() error {
 	scaleGateFlag := flag.Bool("scale-gate", false,
 		"run the 10k-client streaming-vs-buffered load pair and fail unless the streaming "+
 			"fold's peak heap is ≥5x below the buffered baseline's")
+	precisionGateFlag := flag.Bool("precision-gate", false,
+		"enforce the float32 tier's lines on the bench run: MatMul256-f32 ≥2x faster than "+
+			"MatMul256, the f32 federation sweep faster than f64, and Fig. 4 quick accuracy "+
+			"within tolerance across precisions")
+	precisionFlag := flcli.RegisterPrecisionFlag()
 	flag.Parse()
+
+	if _, err := flcli.ApplyPrecisionFlag(*precisionFlag); err != nil {
+		return err
+	}
 
 	if *scaleGateFlag {
 		if err := runScaleGate(); err != nil {
@@ -56,7 +66,7 @@ func run() error {
 		}
 	}
 	if *benchFilter != "" {
-		return runBench(*benchFilter, *baseline, *benchOut, *benchNote, *wireGateFlag)
+		return runBench(*benchFilter, *baseline, *benchOut, *benchNote, *wireGateFlag, *precisionGateFlag)
 	}
 
 	if *list || *exp == "" {

@@ -64,9 +64,14 @@ func run() error {
 	robustFlags := flcli.RegisterRobustFlags()
 	compressFlags := flcli.RegisterCompressFlags()
 	sampleFlags := flcli.RegisterSampleFlags()
+	precisionFlag := flcli.RegisterPrecisionFlag()
 	flag.Parse()
 
 	p, err := parsePreset(*dataset)
+	if err != nil {
+		return err
+	}
+	prec, err := flcli.ApplyPrecisionFlag(*precisionFlag)
 	if err != nil {
 		return err
 	}
@@ -84,9 +89,9 @@ func run() error {
 	}
 	defer stopTelemetry()
 
-	fmt.Printf("training %s on %s (%s): %d clients, %d rounds, alpha=%g\n",
+	fmt.Printf("training %s on %s (%s): %d clients, %d rounds, alpha=%g, precision=%s\n",
 		map[bool]string{true: "CIP", false: "legacy (no defense)"}[*alpha > 0],
-		p, scale, *clients, *rounds, *alpha)
+		p, scale, *clients, *rounds, *alpha, prec)
 
 	var spec *experiments.CheckpointSpec
 	if *ckptPath != "" {

@@ -30,14 +30,25 @@ type Spec struct {
 // rows = 16·16·16 output positions, k = 8·3·3, 16 output channels.
 const convLoweringFLOPs = 3 * 2 * (16 * 16 * 16) * (8 * 3 * 3) * 16
 
-// Specs returns the tracked workloads in reporting order.
+// Specs returns the tracked workloads in reporting order. The -f32
+// variants run the same shapes through the float32 compute tier; the
+// precision gate in cmd/cipbench compares each pair.
 func Specs() []Spec {
 	return []Spec{
 		{"MatMul256", 2 * 256 * 256 * 256, MatMul256},
+		{"MatMul256-f32", 2 * 256 * 256 * 256, MatMul256F32},
 		{"MatMulTransB128", 2 * 128 * 128 * 128, MatMulTransB128},
 		{"ConvLowering", convLoweringFLOPs, ConvLowering},
+		{"ConvLowering-f32", convLoweringFLOPs, ConvLoweringF32},
 		{"ConvForwardBackward", 0, ConvForwardBackward},
+		{"ReluFwd1M", 0, ReluFwd1M},
+		{"ReluFwd1M-f32", 0, ReluFwd1MF32},
+		{"ReluGate1M", 0, ReluGate1M},
+		{"ReluGate1M-f32", 0, ReluGate1MF32},
+		{"BiasAxpy1M", 0, BiasAxpy1M},
+		{"BiasAxpy1M-f32", 0, BiasAxpy1MF32},
 		{"Fig4ClientsSweep", 0, Fig4ClientsSweep},
+		{"Fig4ClientsSweep-f32", 0, Fig4ClientsSweepF32},
 		{"RobustAggMean", 0, RobustAggMean},
 		{"RobustAggMedian", 0, RobustAggMedian},
 		{"RobustAggTrimmed", 0, RobustAggTrimmed},
@@ -60,6 +71,25 @@ func benchMats(n int) (*tensor.Tensor, *tensor.Tensor) {
 	return a, b
 }
 
+func benchMats32(n int) (*tensor.Tensor32, *tensor.Tensor32) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := tensor.New32(n, n), tensor.New32(n, n)
+	a.RandNormal(rng, 0, 1)
+	b.RandNormal(rng, 0, 1)
+	return a, b
+}
+
+// withF32 runs a tracked workload under the float32 compute tier,
+// restoring the f64 default afterwards so neighboring workloads are
+// unaffected.
+func withF32(fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		tensor.SetPrecision(tensor.F32)
+		defer tensor.SetPrecision(tensor.F64)
+		fn(b)
+	}
+}
+
 // MatMul256 is the headline dense GEMM: 256×256 · 256×256.
 func MatMul256(b *testing.B) {
 	x, y := benchMats(256)
@@ -67,6 +97,17 @@ func MatMul256(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, y)
+	}
+}
+
+// MatMul256F32 is the same headline GEMM on the float32 tier — the
+// precision gate asserts it runs ≥2x faster than MatMul256.
+func MatMul256F32(b *testing.B) {
+	x, y := benchMats32(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul32(x, y)
 	}
 }
 
@@ -113,6 +154,98 @@ func ConvLowering(b *testing.B) {
 	}
 }
 
+// ConvLoweringF32 is ConvLowering under the F32 policy: identical f64
+// tensors, but every GEMM narrows to the float32 kernel internally — the
+// mixed path a conv net actually exercises when trained with -precision f32.
+func ConvLoweringF32(b *testing.B) { withF32(ConvLowering)(b) }
+
+// reluBench1M builds the 1M-element activation tensors the elementwise
+// micro-benchmarks share.
+const reluLen = 1 << 20
+
+// ReluFwd1M is the f64 rectifier forward pass over 1M elements.
+func ReluFwd1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, dst := tensor.New(reluLen), tensor.New(reluLen)
+	x.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ReluInto(dst, x)
+	}
+}
+
+// ReluFwd1MF32 is the float32 rectifier forward pass over 1M elements.
+func ReluFwd1MF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, dst := tensor.New32(reluLen), tensor.New32(reluLen)
+	x.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Relu32Into(dst, x)
+	}
+}
+
+// ReluGate1M is the f64 ReLU backward gate over 1M elements.
+func ReluGate1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	y, g, dst := tensor.New(reluLen), tensor.New(reluLen), tensor.New(reluLen)
+	y.RandNormal(rng, 0, 1)
+	g.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ReluGateInto(dst, y, g)
+	}
+}
+
+// ReluGate1MF32 is the float32 ReLU backward gate over 1M elements.
+func ReluGate1MF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	y, g, dst := tensor.New32(reluLen), tensor.New32(reluLen), tensor.New32(reluLen)
+	y.RandNormal(rng, 0, 1)
+	g.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ReluGate32Into(dst, y, g)
+	}
+}
+
+// BiasAxpy1M is the f64 fused axpy (a += α·b) over 1M elements — the
+// SGD-step and bias-gradient shape.
+func BiasAxpy1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := tensor.New(reluLen), tensor.New(reluLen)
+	x.RandNormal(rng, 0, 1)
+	y.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.AxpyInPlace(x, 1e-9, y)
+	}
+}
+
+// BiasAxpy1MF32 is the float32 fused axpy over 1M elements.
+func BiasAxpy1MF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := tensor.New32(reluLen), tensor.New32(reluLen)
+	x.RandNormal(rng, 0, 1)
+	y.RandNormal(rng, 0, 1)
+	b.SetBytes(reluLen * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Axpy32InPlace(x, 1e-9, y)
+	}
+}
+
 // ConvForwardBackward is one Conv2D layer's train-mode forward + backward,
 // the path the scratch arena exists for.
 func ConvForwardBackward(b *testing.B) {
@@ -144,9 +277,46 @@ func Fig4ClientsSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, k := range []int{2, 5} {
-			sweepFederation(b, d, k, 6)
+			if _, err := sweepFederation(d, k, 6); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+}
+
+// Fig4ClientsSweepF32 is the same federation sweep under the F32 policy —
+// every client's GEMMs run on the float32 tier while updates cross the FL
+// boundary as float64.
+func Fig4ClientsSweepF32(b *testing.B) { withF32(Fig4ClientsSweep)(b) }
+
+// Fig4AccuracyParity trains the quick 2-client federation once per
+// precision and evaluates both global models on the held-out test set.
+// cmd/cipbench's precision gate asserts the accuracies agree within
+// tolerance, so the f32 tier's speed never comes at Fig. 4 fidelity.
+func Fig4AccuracyParity() (acc64, acc32 float64, err error) {
+	d, err := datasets.Load(datasets.CIFAR100, datasets.Quick, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	run := func() (float64, error) {
+		global, err := sweepFederation(d, 2, 6)
+		if err != nil {
+			return 0, err
+		}
+		eval := model.NewClassifier(rand.New(rand.NewSource(2)), model.VGG,
+			d.Train.In, d.Train.NumClasses)
+		nn.SetFlatParams(eval.Params(), global)
+		return fl.Evaluate(eval, d.Test, 32), nil
+	}
+	if acc64, err = run(); err != nil {
+		return 0, 0, err
+	}
+	tensor.SetPrecision(tensor.F32)
+	defer tensor.SetPrecision(tensor.F64)
+	if acc32, err = run(); err != nil {
+		return 0, 0, err
+	}
+	return acc64, acc32, nil
 }
 
 // robustAggBench measures one robust fold over a 12-client cohort at a
@@ -251,7 +421,7 @@ func RobustRoundTrimmed(b *testing.B) {
 	})
 }
 
-func sweepFederation(b *testing.B, d *datasets.Data, k, rounds int) {
+func sweepFederation(d *datasets.Data, k, rounds int) ([]float64, error) {
 	ncc := d.Train.NumClasses / 5
 	if ncc < 2 {
 		ncc = 2
@@ -275,6 +445,7 @@ func sweepFederation(b *testing.B, d *datasets.Data, k, rounds int) {
 	}
 	srv := fl.NewServer(initial, clients...)
 	if err := srv.Run(rounds); err != nil {
-		b.Fatal(err)
+		return nil, err
 	}
+	return srv.Global(), nil
 }

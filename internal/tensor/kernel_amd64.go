@@ -107,6 +107,91 @@ func reluGateKernel(dst, y, g []float64) {
 	reluGateGo(dst, y, g)
 }
 
+// --- float32 tier ---------------------------------------------------------
+//
+// The f32 kernels gate on the same AVX2+FMA+OSXSAVE detection as the f64
+// ones: every instruction they add (VFMADD231PS, VBROADCASTSS, VMAXPS,
+// VCMPPS) is part of the same feature envelope.
+
+// microKernel32 computes the mr32×nr32 tile into c (overwriting it),
+// dispatching to the widened 8-lane-per-register AVX2+FMA kernel when the
+// CPU supports it. Same rounding caveat as microKernel: FMA fuses the
+// multiply-add, so results differ from the portable kernel in the last
+// ulp but stay bit-identical within one process.
+func microKernel32(c *[mr32 * nr32]float32, a0, a1, a2, a3, a4, a5, bp []float32, kcb int) {
+	if hasFMAKernel && kcb > 0 {
+		fmaKernel6x16(&a0[0], &a1[0], &a2[0], &a3[0], &a4[0], &a5[0], &bp[0], &c[0], kcb)
+		return
+	}
+	microKernel32Go(c, a0, a1, a2, a3, a4, a5, bp, kcb)
+}
+
+// fmaKernel6x16 accumulates c[6][16] = Σ_p a{r}[p] * bp[p*16+j] over p in
+// [0, kc) with AVX2 FMA, overwriting c. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func fmaKernel6x16(a0, a1, a2, a3, a4, a5, bp, c *float32, kc int)
+
+// fmaAxpy32 computes dst[i] += alpha*src[i] for i in [0, n) with AVX2 FMA.
+// Implemented in kernel_amd64.s.
+//
+//go:noescape
+func fmaAxpy32(dst, src *float32, alpha float32, n int)
+
+// axpyRow32 adds alpha·src into dst (equal lengths), dispatching to the
+// f32 FMA kernel when the CPU supports it.
+func axpyRow32(dst, src []float32, alpha float32) {
+	if hasFMAKernel && len(dst) > 0 {
+		fmaAxpy32(&dst[0], &src[0], alpha, len(dst))
+		return
+	}
+	axpyRow32Go(dst, src, alpha)
+}
+
+// avxRelu32 computes dst[i] = max(src[i], 0) for i in [0, n), n a multiple
+// of 8. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func avxRelu32(dst, src *float32, n int)
+
+// avxReluGate32 computes dst[i] = g[i] masked by y[i] > 0 for i in [0, n),
+// n a multiple of 8. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func avxReluGate32(dst, y, grad *float32, n int)
+
+// relu32Kernel rectifies with the AVX2 kernel, finishing any sub-vector
+// remainder with the portable loop.
+func relu32Kernel(dst, x []float32) {
+	if hasFMAKernel {
+		if n8 := len(x) &^ 7; n8 > 0 {
+			avxRelu32(&dst[0], &x[0], n8)
+			dst, x = dst[n8:], x[n8:]
+		}
+	}
+	relu32Go(dst, x)
+}
+
+// reluGate32Kernel gates gradients with the AVX2 kernel, finishing any
+// sub-vector remainder with the portable loop.
+func reluGate32Kernel(dst, y, g []float32) {
+	if hasFMAKernel {
+		if n8 := len(y) &^ 7; n8 > 0 {
+			avxReluGate32(&dst[0], &y[0], &g[0], n8)
+			dst, y, g = dst[n8:], y[n8:], g[n8:]
+		}
+	}
+	reluGate32Go(dst, y, g)
+}
+
+// kernelFeatures lists the SIMD features the active micro-kernels use.
+func kernelFeatures() []string {
+	if hasFMAKernel {
+		return []string{"avx2", "fma"}
+	}
+	return nil
+}
+
 // cpuidex executes CPUID with the given leaf/subleaf.
 //
 //go:noescape

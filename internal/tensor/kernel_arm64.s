@@ -1,0 +1,123 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func neonKernel6x16(a0, a1, a2, a3, a4, a5, bp, c *float32, kc int)
+//
+// Computes the 6×16 float32 micro-tile c[r][j] = Σ_p a{r}[p] * bp[p*16+j]
+// for p in [0, kc), overwriting c. The twenty-four accumulators (V8..V31,
+// four 4-lane registers per row) stay live across the whole k-loop; each
+// iteration streams 16 packed B values (one 4-register VLD1) and
+// broadcasts one A value per row through a GPR word load + VDUP, issuing
+// 24 FMLAs = 192 single FLOPs. Six rows (rather than the f64-style four)
+// keep enough independent accumulator chains in flight to cover FMLA
+// latency, mirroring the amd64 6×16 kernel.
+TEXT ·neonKernel6x16(SB), NOSPLIT, $0-72
+	MOVD a0+0(FP), R0
+	MOVD a1+8(FP), R1
+	MOVD a2+16(FP), R2
+	MOVD a3+24(FP), R3
+	MOVD a4+32(FP), R4
+	MOVD a5+40(FP), R5
+	MOVD bp+48(FP), R12
+	MOVD c+56(FP), R13
+	MOVD kc+64(FP), R14
+
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VEOR V18.B16, V18.B16, V18.B16
+	VEOR V19.B16, V19.B16, V19.B16
+	VEOR V20.B16, V20.B16, V20.B16
+	VEOR V21.B16, V21.B16, V21.B16
+	VEOR V22.B16, V22.B16, V22.B16
+	VEOR V23.B16, V23.B16, V23.B16
+	VEOR V24.B16, V24.B16, V24.B16
+	VEOR V25.B16, V25.B16, V25.B16
+	VEOR V26.B16, V26.B16, V26.B16
+	VEOR V27.B16, V27.B16, V27.B16
+	VEOR V28.B16, V28.B16, V28.B16
+	VEOR V29.B16, V29.B16, V29.B16
+	VEOR V30.B16, V30.B16, V30.B16
+	VEOR V31.B16, V31.B16, V31.B16
+
+loop:
+	VLD1.P 64(R12), [V0.S4, V1.S4, V2.S4, V3.S4] // b[0:16]
+
+	MOVWU.P 4(R0), R15                           // a0[p] bits
+	VDUP    R15, V4.S4
+	MOVWU.P 4(R1), R15                           // a1[p] bits
+	VDUP    R15, V5.S4
+	VFMLA   V0.S4, V4.S4, V8.S4
+	VFMLA   V1.S4, V4.S4, V9.S4
+	VFMLA   V2.S4, V4.S4, V10.S4
+	VFMLA   V3.S4, V4.S4, V11.S4
+	VFMLA   V0.S4, V5.S4, V12.S4
+	VFMLA   V1.S4, V5.S4, V13.S4
+	VFMLA   V2.S4, V5.S4, V14.S4
+	VFMLA   V3.S4, V5.S4, V15.S4
+
+	MOVWU.P 4(R2), R15                           // a2[p] bits
+	VDUP    R15, V6.S4
+	MOVWU.P 4(R3), R15                           // a3[p] bits
+	VDUP    R15, V7.S4
+	VFMLA   V0.S4, V6.S4, V16.S4
+	VFMLA   V1.S4, V6.S4, V17.S4
+	VFMLA   V2.S4, V6.S4, V18.S4
+	VFMLA   V3.S4, V6.S4, V19.S4
+	VFMLA   V0.S4, V7.S4, V20.S4
+	VFMLA   V1.S4, V7.S4, V21.S4
+	VFMLA   V2.S4, V7.S4, V22.S4
+	VFMLA   V3.S4, V7.S4, V23.S4
+
+	MOVWU.P 4(R4), R15                           // a4[p] bits
+	VDUP    R15, V4.S4
+	MOVWU.P 4(R5), R15                           // a5[p] bits
+	VDUP    R15, V5.S4
+	VFMLA   V0.S4, V4.S4, V24.S4
+	VFMLA   V1.S4, V4.S4, V25.S4
+	VFMLA   V2.S4, V4.S4, V26.S4
+	VFMLA   V3.S4, V4.S4, V27.S4
+	VFMLA   V0.S4, V5.S4, V28.S4
+	VFMLA   V1.S4, V5.S4, V29.S4
+	VFMLA   V2.S4, V5.S4, V30.S4
+	VFMLA   V3.S4, V5.S4, V31.S4
+
+	SUBS $1, R14
+	BNE  loop
+
+	VST1.P [V8.S4, V9.S4, V10.S4, V11.S4], 64(R13)
+	VST1.P [V12.S4, V13.S4, V14.S4, V15.S4], 64(R13)
+	VST1.P [V16.S4, V17.S4, V18.S4, V19.S4], 64(R13)
+	VST1.P [V20.S4, V21.S4, V22.S4, V23.S4], 64(R13)
+	VST1.P [V24.S4, V25.S4, V26.S4, V27.S4], 64(R13)
+	VST1   [V28.S4, V29.S4, V30.S4, V31.S4], (R13)
+	RET
+
+// func neonAxpy32(dst, src *float32, alpha float32, n int)
+//
+// dst[i] += alpha * src[i] for i in [0, n); n must be a positive multiple
+// of 4 (the Go dispatcher handles the scalar remainder).
+TEXT ·neonAxpy32(SB), NOSPLIT, $0-32
+	MOVD  dst+0(FP), R0
+	MOVD  src+8(FP), R1
+	MOVWU alpha+16(FP), R3
+	VDUP  R3, V0.S4
+	MOVD  n+24(FP), R2
+	LSR   $2, R2, R2
+
+axpylp:
+	VLD1.P 16(R1), [V1.S4]
+	VLD1   (R0), [V2.S4]
+	VFMLA  V1.S4, V0.S4, V2.S4
+	VST1.P [V2.S4], 16(R0)
+	SUBS   $1, R2
+	BNE    axpylp
+	RET

@@ -1,4 +1,4 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package tensor
 
@@ -22,3 +22,24 @@ func reluKernel(dst, x []float64) { reluGo(dst, x) }
 
 // reluGateKernel gates gradients with the portable loop.
 func reluGateKernel(dst, y, g []float64) { reluGateGo(dst, y, g) }
+
+// microKernel32 computes the mr32×nr32 tile into c (overwriting it) with
+// the portable Go kernel.
+func microKernel32(c *[mr32 * nr32]float32, a0, a1, a2, a3, a4, a5, bp []float32, kcb int) {
+	microKernel32Go(c, a0, a1, a2, a3, a4, a5, bp, kcb)
+}
+
+// axpyRow32 adds alpha·src into dst (equal lengths) with the portable loop.
+func axpyRow32(dst, src []float32, alpha float32) {
+	axpyRow32Go(dst, src, alpha)
+}
+
+// relu32Kernel rectifies with the portable loop.
+func relu32Kernel(dst, x []float32) { relu32Go(dst, x) }
+
+// reluGate32Kernel gates gradients with the portable loop.
+func reluGate32Kernel(dst, y, g []float32) { reluGate32Go(dst, y, g) }
+
+// kernelFeatures lists the SIMD features the active micro-kernels use;
+// none on the portable build.
+func kernelFeatures() []string { return nil }

@@ -112,6 +112,10 @@ func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
 // so zero lanes skip their n-wide update entirely. Serial by construction,
 // hence trivially bit-identical across worker counts.
 func transADirect(dst, a, b []float64, m, k, n int) {
+	if useF32() {
+		transADirect32(dst, a, b, m, k, n)
+		return
+	}
 	vol := m * k * n
 	timed := vol >= gemmTimedVolume
 	var start time.Time
@@ -214,12 +218,20 @@ type gemmShape struct {
 }
 
 // gemm is the blocked driver: dst (m×n, fully overwritten) = a·op(b) + bias.
+// Under the F32 precision policy the product routes through the f32 tier
+// (matmul32.go): operands narrow at pack time, the widened f32
+// micro-kernel computes each k-block, and partial sums accumulate in
+// float64 — same blocked structure, so worker-count determinism holds.
 func gemm(dst, a, b []float64, s gemmShape) {
 	if s.m == 0 || s.n == 0 {
 		return
 	}
 	if s.k == 0 {
 		fillBias(dst, s)
+		return
+	}
+	if useF32() {
+		gemmMixed(dst, a, b, s)
 		return
 	}
 	vol := s.m * s.n * s.k
@@ -462,16 +474,26 @@ func rowWorkers(rows, volume int) int {
 // Results are independent of the worker count: chunking only partitions
 // rows, never the accumulation order within an output element.
 func parallelRows(rows, volume int, fn func(lo, hi int)) {
+	parallelRowsAligned(rows, volume, mr, fn)
+}
+
+// parallelRowsAligned is parallelRows with an explicit tile height: the
+// f64 driver aligns chunks to mr, the f32 driver to its taller mr32 tile.
+// Alignment is what keeps results worker-count independent — every chunk
+// start is a tile-height multiple, so the same rows land in full tiles
+// (assembly kernel) versus the row remainder (scalar kernel) no matter
+// how many workers split the range.
+func parallelRowsAligned(rows, volume, align int, fn func(lo, hi int)) {
 	workers := rowWorkers(rows, volume)
 	if workers < 2 {
 		fn(0, rows)
 		return
 	}
 	// Compute the chunk from the clamped worker count, then round up to a
-	// multiple of mr; the number of spawned goroutines is ceil(rows/chunk),
-	// which never exceeds workers.
+	// multiple of the tile height; the number of spawned goroutines is
+	// ceil(rows/chunk), which never exceeds workers.
 	chunk := (rows + workers - 1) / workers
-	chunk = (chunk + mr - 1) / mr * mr
+	chunk = (chunk + align - 1) / align * align
 	var wg sync.WaitGroup
 	for lo := 0; lo < rows; lo += chunk {
 		hi := min(lo+chunk, rows)

@@ -1,0 +1,294 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMul32 is the scalar float32 reference (plain triple loop,
+// ascending k) the blocked kernel is judged against.
+func naiveMatMul32(a, b *Tensor32) *Tensor32 {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func randMat32(rng *rand.Rand, m, n int) *Tensor32 {
+	t := New32(m, n)
+	t.RandNormal(rng, 0, 1)
+	return t
+}
+
+// TestMatMul32MatchesNaiveEdgeShapes drives the f32 blocked kernel through
+// shapes that stress every edge: partial mr/nr32 tiles, single rows and
+// columns, and sizes straddling the kc/nc cache blocks and the parallel
+// threshold. FMA/FMLA fuse the multiply-add rounding and the blocked
+// kernel sums k in panel order, so the comparison tolerance scales with k
+// at float32 epsilon.
+func TestMatMul32MatchesNaiveEdgeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 33, 63, 65, 127, 129}
+	shapes := [][3]int{{4, 300, 520}, {70, 257, 64}, {130, 512, 9}}
+	for trial := 0; trial < 60; trial++ {
+		shapes = append(shapes, [3]int{
+			dims[rng.Intn(len(dims))], dims[rng.Intn(len(dims))], dims[rng.Intn(len(dims))]})
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMat32(rng, m, k), randMat32(rng, k, n)
+		tol := 1e-4 * math.Sqrt(float64(k))
+		if !Equal32(MatMul32(a, b), naiveMatMul32(a, b), tol) {
+			t.Fatalf("MatMul32(%dx%d, %dx%d) diverges from naive reference", m, k, k, n)
+		}
+	}
+}
+
+// TestMatMulTransB32MatchesNaive checks the f32 transposed-B pack path.
+func TestMatMulTransB32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, s := range [][3]int{{1, 1, 1}, {5, 9, 3}, {33, 65, 17}, {70, 70, 70}} {
+		m, k, n := s[0], s[1], s[2]
+		a, bt := randMat32(rng, m, k), randMat32(rng, n, k)
+		// Reference: materialize bᵀ and multiply naively.
+		b := New32(k, n)
+		for i := 0; i < n; i++ {
+			for p := 0; p < k; p++ {
+				b.Data[p*n+i] = bt.Data[i*k+p]
+			}
+		}
+		if !Equal32(MatMulTransB32(a, bt), naiveMatMul32(a, b), 1e-4*math.Sqrt(float64(k))) {
+			t.Fatalf("MatMulTransB32(%dx%d · (%dx%d)ᵀ) diverges from reference", m, k, n, k)
+		}
+	}
+}
+
+// TestMatMulBias32IntoEpilogue checks the fused-bias f32 epilogue.
+func TestMatMulBias32IntoEpilogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, k, n := 9, 33, 21
+	a, b := randMat32(rng, m, k), randMat32(rng, k, n)
+	bias := make([]float32, n)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+	want := naiveMatMul32(a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want.Data[i*n+j] += bias[j]
+		}
+	}
+	dst := New32(m, n)
+	MatMulBias32Into(dst, a, b, bias)
+	if !Equal32(dst, want, 1e-4*math.Sqrt(float64(k))) {
+		t.Fatal("MatMulBias32Into diverges from naive reference + bias")
+	}
+}
+
+// TestMixedGEMMWidensPureF32 pins the mixed path's contract: for a product
+// with a single k-block (k ≤ kcBlock) and no bias, running the f64 entry
+// point under the F32 policy must produce EXACTLY the widened pure-f32
+// product — the narrow-compute-widen round trip introduces no extra
+// arithmetic.
+func TestMixedGEMMWidensPureF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range [][3]int{{5, 7, 3}, {64, 64, 64}, {33, 256, 70}, {128, 100, 520}} {
+		m, k, n := s[0], s[1], s[2]
+		a, b := New(m, k), New(k, n)
+		a.RandNormal(rng, 0, 1)
+		b.RandNormal(rng, 0, 1)
+
+		SetPrecision(F32)
+		mixed := MatMul(a, b)
+		SetPrecision(F64)
+
+		pure := MatMul32(NarrowTensor(a), NarrowTensor(b))
+		for i := range mixed.Data {
+			if mixed.Data[i] != float64(pure.Data[i]) {
+				t.Fatalf("(%d,%d,%d): mixed[%d] = %v, widened pure f32 = %v",
+					m, k, n, i, mixed.Data[i], float64(pure.Data[i]))
+			}
+		}
+	}
+}
+
+// TestMixedGEMMAccumulatesF64AcrossBlocks checks the other half of the
+// contract: with k spanning multiple kcBlocks the mixed path sums its
+// f32 block partials in float64, so it is generally CLOSER to the f64
+// result than an end-to-end f32 accumulation — and must stay within a
+// float32-scale tolerance of the f64 product.
+func TestMixedGEMMAccumulatesF64AcrossBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, k, n := 16, 3*kcBlock+17, 24
+	a, b := New(m, k), New(k, n)
+	a.RandNormal(rng, 0, 1)
+	b.RandNormal(rng, 0, 1)
+
+	want := MatMul(a, b)
+	SetPrecision(F32)
+	mixed := MatMul(a, b)
+	SetPrecision(F64)
+
+	tol := 1e-4 * math.Sqrt(float64(k))
+	if !Equal(mixed, want, tol) {
+		t.Fatalf("mixed-precision GEMM drifts more than %g from the f64 product", tol)
+	}
+}
+
+// TestMixedTransADirect drives the rank-1 aᵀ·b path (m ≤ transADirectMaxM)
+// under the F32 policy against the f64 reference.
+func TestMixedTransADirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k, m, n := 500, 16, 72 // m ≤ transADirectMaxM forces the direct path
+	a, b := New(k, m), New(k, n)
+	a.RandNormal(rng, 0, 1)
+	b.RandNormal(rng, 0, 1)
+	// Sprinkle exact zeros so the skip-zero-lane branch runs.
+	for i := 0; i < len(a.Data); i += 7 {
+		a.Data[i] = 0
+	}
+
+	want := MatMulTransA(a, b)
+	SetPrecision(F32)
+	got := MatMulTransA(a, b)
+	SetPrecision(F64)
+
+	if !Equal(got, want, 1e-3*math.Sqrt(float64(k))) {
+		t.Fatal("F32-policy transADirect diverges from the f64 rank-1 product")
+	}
+}
+
+// TestPrecisionParse pins the CLI spellings.
+func TestPrecisionParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"f32", F32, true}, {"float32", F32, true},
+		{"f64", F64, true}, {"float64", F64, true}, {"", F64, true},
+		{"f16", F64, false}, {"double", F64, false},
+	} {
+		got, err := ParsePrecision(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if F32.String() != "f32" || F64.String() != "f64" {
+		t.Error("Precision.String spellings drifted from the CLI names")
+	}
+}
+
+// TestRelu32Kernels checks the f32 rectifier forward and gate against the
+// scalar definition, across the vector body and the sub-vector remainder,
+// including the NaN-gates-to-zero contract.
+func TestRelu32Kernels(t *testing.T) {
+	nan := float32(math.NaN())
+	for _, size := range []int{1, 7, 8, 9, 64, 100} {
+		x := New32(size)
+		g := New32(size)
+		rng := rand.New(rand.NewSource(int64(size)))
+		x.RandNormal(rng, 0, 1)
+		g.RandNormal(rng, 0, 1)
+		x.Data[0] = nan
+		if size > 8 {
+			x.Data[size-1] = nan
+		}
+
+		fwd := Relu32Into(New32(size), x)
+		gate := ReluGate32Into(New32(size), x, g)
+		for i, v := range x.Data {
+			wantF, wantG := float32(0), float32(0)
+			if v > 0 {
+				wantF, wantG = v, g.Data[i]
+			}
+			if fwd.Data[i] != wantF {
+				t.Fatalf("size %d: relu[%d] = %v, want %v (x=%v)", size, i, fwd.Data[i], wantF, v)
+			}
+			if gate.Data[i] != wantG {
+				t.Fatalf("size %d: gate[%d] = %v, want %v (x=%v)", size, i, gate.Data[i], wantG, v)
+			}
+		}
+	}
+}
+
+// TestAxpy32Kernel checks the f32 axpy against the scalar loop across
+// vector-body and remainder lengths.
+func TestAxpy32Kernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, size := range []int{1, 3, 4, 5, 16, 17, 100} {
+		a, b := New32(size), New32(size)
+		a.RandNormal(rng, 0, 1)
+		b.RandNormal(rng, 0, 1)
+		want := make([]float32, size)
+		const alpha = float32(0.37)
+		for i := range want {
+			want[i] = a.Data[i] + alpha*b.Data[i]
+		}
+		Axpy32InPlace(a, alpha, b)
+		for i := range want {
+			if math.Abs(float64(a.Data[i])-float64(want[i])) > 1e-6 {
+				t.Fatalf("size %d: axpy[%d] = %v, want %v", size, i, a.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPool32RoundTrip checks the f32 arena recycles storage like the f64
+// one: a Get after a Put of the same class reuses the buffer.
+func TestPool32RoundTrip(t *testing.T) {
+	a := GetTensor32(100)
+	data := &a.Data[0]
+	PutTensor32(a)
+	b := GetTensor32(120) // same power-of-two class (128)
+	defer PutTensor32(b)
+	if &b.Data[0] != data {
+		t.Error("pooled f32 buffer was not reused within its size class")
+	}
+	if len(b.Data) != 120 {
+		t.Errorf("reused buffer has length %d, want 120", len(b.Data))
+	}
+}
+
+// TestConvertSemantics pins the IEEE-754 narrowing cases the FL boundary
+// depends on: NaN stays NaN, ±Inf stays ±Inf, overflow saturates to Inf,
+// and sub-f32-range values flush toward zero (finite).
+func TestConvertSemantics(t *testing.T) {
+	src := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64, // overflow → ±Inf
+		1e-300, -1e-300, // below f32 subnormals → ±0
+		1.5, -2.25, 0, // exactly representable
+	}
+	dst := Narrow(src)
+	back := Widen(dst)
+	if !math.IsNaN(back[0]) {
+		t.Error("NaN did not survive the narrow/widen round trip")
+	}
+	if !math.IsInf(back[1], 1) || !math.IsInf(back[2], -1) {
+		t.Error("±Inf did not survive the round trip")
+	}
+	if !math.IsInf(back[3], 1) || !math.IsInf(back[4], -1) {
+		t.Error("beyond-MaxFloat32 values must overflow to ±Inf")
+	}
+	if back[5] != 0 || back[6] != 0 {
+		t.Error("sub-f32-range values must flush to zero")
+	}
+	for i := 7; i < 10; i++ {
+		if back[i] != src[i] {
+			t.Errorf("exactly-representable value %v round-tripped to %v", src[i], back[i])
+		}
+	}
+	if got := Widen(Narrow([]float64{3.5})); got[0] != 3.5 {
+		t.Error("representable scalar drifted")
+	}
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Precision selects which floating-point width the GEMM compute tier runs
+// at. It is a process-wide policy, not a per-call option: kernel dispatch
+// must be constant while kernels run so that repeated executions of the
+// same product are bit-identical (the property the federation determinism
+// tests rely on). Set it once at startup — the `-precision` flag on
+// ciptrain/cipbench does exactly that — before any training work begins.
+//
+// Under F32 the f64-facing GEMM entry points (MatMul, MatMulInto, the
+// fused-bias and transposed variants, and the rank-1 aᵀ·b path) narrow
+// their operands to float32 at pack time, run the widened f32 micro-kernels
+// (8 lanes per AVX2 register, 4 per NEON register), and widen the per-block
+// partial sums back into the float64 destination. Storage, layer caches,
+// optimizer state, and everything crossing the FL boundary stay []float64,
+// so the wire codec, compression banks, robust folds, and checkpoint
+// container are untouched byte-for-byte.
+//
+// Numerics: an F32 run and an F64 run are DIFFERENT computations — each
+// multiply-add rounds at its own width — but each is bit-reproducible on
+// its own: for a fixed precision, kernel, and operand values, results are
+// identical across runs and across worker counts (DESIGN.md §14).
+type Precision uint8
+
+const (
+	// F64 is the default full-precision tier: every GEMM computes in
+	// float64, as all code before the f32 tier did.
+	F64 Precision = iota
+	// F32 runs GEMM compute through the float32 micro-kernels with
+	// float64 storage and interchange.
+	F32
+)
+
+// String returns the CLI spelling of p.
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision maps the CLI spellings onto the policy values.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("unknown precision %q (want f32 or f64)", s)
+}
+
+// currentPrecision holds the active policy. Atomic so tests that flip the
+// policy around a workload are race-clean against concurrent kernels; the
+// production contract remains "set once before training".
+var currentPrecision atomic.Uint32
+
+// SetPrecision installs the process-wide compute precision. Call it once
+// at startup, before training starts: flipping it mid-run changes which
+// kernel subsequent GEMMs dispatch to, which breaks run-to-run
+// bit-reproducibility (each precision remains self-consistent, but a mixed
+// trace is neither).
+func SetPrecision(p Precision) { currentPrecision.Store(uint32(p)) }
+
+// CurrentPrecision reports the active compute precision.
+func CurrentPrecision() Precision { return Precision(currentPrecision.Load()) }
+
+// useF32 is the per-GEMM dispatch check (one atomic load per product).
+func useF32() bool { return currentPrecision.Load() == uint32(F32) }

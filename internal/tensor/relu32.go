@@ -1,0 +1,61 @@
+package tensor
+
+import "fmt"
+
+// Float32 rectifier kernels — the f32 tier's siblings of relu.go, with the
+// same NaN-gates-to-zero contract on the vector and scalar paths.
+
+// Relu32Into writes the positive part of x into dst elementwise: dst[i] =
+// max(x[i], 0). dst and x must have equal sizes; dst may alias x.
+func Relu32Into(dst, x *Tensor32) *Tensor32 {
+	if len(dst.Data) != len(x.Data) {
+		panic(fmt.Sprintf("tensor: Relu32Into size mismatch %v vs %v", dst.Shape, x.Shape))
+	}
+	relu32Kernel(dst.Data, x.Data)
+	return dst
+}
+
+// ReluGate32Into writes grad gated by y's sign into dst: dst[i] = grad[i]
+// where y[i] > 0, else 0 — the ReLU backward pass. All three tensors must
+// have equal sizes; dst may alias grad.
+func ReluGate32Into(dst, y, grad *Tensor32) *Tensor32 {
+	if len(dst.Data) != len(y.Data) || len(dst.Data) != len(grad.Data) {
+		panic(fmt.Sprintf("tensor: ReluGate32Into size mismatch %v, %v, %v",
+			dst.Shape, y.Shape, grad.Shape))
+	}
+	reluGate32Kernel(dst.Data, y.Data, grad.Data)
+	return dst
+}
+
+// Axpy32InPlace computes a += alpha*b elementwise through the f32 axpy
+// kernel.
+func Axpy32InPlace(a *Tensor32, alpha float32, b *Tensor32) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Axpy32InPlace shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	if len(a.Data) > 0 {
+		axpyRow32(a.Data, b.Data, alpha)
+	}
+}
+
+// relu32Go is the portable rectifier loop.
+func relu32Go(dst, x []float32) {
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// reluGate32Go is the portable gradient gate loop.
+func reluGate32Go(dst, y, g []float32) {
+	for i, v := range y {
+		if v > 0 {
+			dst[i] = g[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -204,12 +204,11 @@ func AddInPlace(a, b *Tensor) {
 	}
 }
 
-// AxpyInPlace computes a += alpha*b elementwise.
+// AxpyInPlace computes a += alpha*b elementwise, through the FMA axpy
+// kernel where the CPU has one.
 func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) {
 	assertSameShape("AxpyInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] += alpha * b.Data[i]
-	}
+	axpyRow(a.Data, b.Data, alpha)
 }
 
 // ScaleInPlace multiplies every element of a by s.
