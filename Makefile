@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # whatever `staticcheck` is on PATH (and skip cleanly when there is none).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race vet staticcheck crosscheck fuzz chaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke wirecheck benchwire benchscale scalegate benchprecision check
+.PHONY: build test race vet staticcheck crosscheck fuzz chaos treechaos chaossmoke byzantine byzsmoke bench benchrobust benchsmoke wirecheck benchwire benchscale scalegate benchprecision benchtree check
 
 build:
 	$(GO) build ./...
@@ -44,10 +44,19 @@ race:
 # federation mid-run (in-process and over TCP), restart from the durable
 # snapshot, and require bit-identical results — plus the torn-write /
 # bit-flip fallback and graceful-shutdown paths.
-chaos:
+chaos: treechaos
 	$(GO) test -race -count=1 \
 		-run 'CrashResume|StopResume|CoordinatorRestart|ClientStops|Manager|WriteFileAtomic' \
 		./internal/fl/checkpoint ./internal/fl/transport ./internal/fl/faults
+
+# treechaos runs the depth-3 aggregation-tree chaos harness under the race
+# detector: seeded leaf and interior kills (failure-domain restarts), a
+# partition in front of the first replacement, mid-partial-frame link
+# kills, parent failover, and bit-identical root kill→restart→resume.
+treechaos:
+	$(GO) test -race -count=1 -timeout 10m \
+		-run 'TestTreeChaos|TestMidPartialFrame|TestLeafFailsOver|TestTreeRootRestart|TestDegradedPartial|TestCoverageFloor' \
+		./internal/fl/transport ./internal/fl/faults
 
 # chaossmoke is the fast no-race subset of the chaos harness that rides in
 # `make check`: one in-process crash/resume bit-identity pass plus the
@@ -89,6 +98,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRobustAggregate -fuzztime=$(FUZZTIME) ./internal/fl/robust
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/fl/wire
 	$(GO) test -run='^$$' -fuzz=FuzzDecompressUpdate -fuzztime=$(FUZZTIME) ./internal/fl/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodePartial -fuzztime=$(FUZZTIME) ./internal/fl/wire
 	$(GO) test -run='^$$' -fuzz=FuzzNarrowWidenValidate -fuzztime=$(FUZZTIME) ./internal/fl
 
 # bench regenerates the tracked perf report against the committed seed
@@ -146,6 +156,15 @@ benchscale:
 # baseline's.
 scalegate:
 	$(GO) run ./cmd/cipbench -scale-gate
+
+# benchtree regenerates the aggregation-tree report and holds the tree
+# gate: depth-2 robust sketch merges bit-exact below the reservoir
+# capacity and inside the documented DKW quantile envelope above it, and
+# the depth-3 tree's p99 round latency within 5x the flat federation's.
+benchtree:
+	$(GO) run ./cmd/cipbench -tree-gate \
+		-bench-out BENCH_PR10.json \
+		-bench-note "aggregation-tree PR: depth-2 sketch error gate + depth-3 latency pair"
 
 # benchprecision regenerates the float32-tier report and holds the
 # precision gate: MatMul256-f32 ≥2x over MatMul256, the f32 Fig. 4 sweep

@@ -181,6 +181,37 @@ func runScaleGate() error {
 	return nil
 }
 
+// runTreeGate is the aggregation-tree regression line: the depth-2
+// robust sketch merge must be bit-exact below the reservoir capacity and
+// inside the documented DKW quantile envelope above it, and a depth-3
+// tree at load must keep p99 round latency within 5x the flat
+// federation's. The measurements land in a BENCH json report.
+func runTreeGate(outPath, note string) error {
+	fmt.Fprintln(os.Stderr, "tree gate: depth-2 sketch error vs DKW envelope, then flat vs depth-3 latency pair...")
+	rep, err := bench.TreeGate(true)
+	if err != nil {
+		return err
+	}
+	rep.Note = note
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	for _, g := range rep.Rules {
+		fmt.Fprintf(os.Stderr, "tree gate: %-8s %d rows via cap-%d reservoirs: max err %.4f ≤ bound %.4f\n",
+			g.Rule, g.Rows, g.SketchCap, g.MaxAbsErr, g.MaxBound)
+	}
+	fmt.Fprintf(os.Stderr, "tree gate: flat p99 %.1fms, depth-3 tree p99 %.1fms (limit 5x+50ms)\n",
+		rep.Flat.P99RoundMs, rep.Tree.P99RoundMs)
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(outPath, raw, 0o644)
+}
+
 // matchesFilter reports whether a benchmark name passes the -bench
 // filter: "all" passes everything, otherwise the filter is a
 // '|'-separated list of substrings and any one match suffices.

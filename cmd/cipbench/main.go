@@ -46,6 +46,10 @@ func run() error {
 	scaleGateFlag := flag.Bool("scale-gate", false,
 		"run the 10k-client streaming-vs-buffered load pair and fail unless the streaming "+
 			"fold's peak heap is ≥5x below the buffered baseline's")
+	treeGateFlag := flag.Bool("tree-gate", false,
+		"run the aggregation-tree gate: depth-2 robust sketch error within the documented "+
+			"DKW envelope (bit-exact below capacity) and depth-3 tree p99 round latency "+
+			"within 5x the flat federation's; emits a BENCH json report")
 	precisionGateFlag := flag.Bool("precision-gate", false,
 		"enforce the float32 tier's lines on the bench run: MatMul256-f32 ≥2x faster than "+
 			"MatMul256, the f32 federation sweep faster than f64, and Fig. 4 quick accuracy "+
@@ -59,6 +63,14 @@ func run() error {
 
 	if *scaleGateFlag {
 		if err := runScaleGate(); err != nil {
+			return err
+		}
+		if *benchFilter == "" && !*treeGateFlag {
+			return nil
+		}
+	}
+	if *treeGateFlag {
+		if err := runTreeGate(*benchOut, *benchNote); err != nil {
 			return err
 		}
 		if *benchFilter == "" {

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/cip-fl/cip/internal/bench"
+	"github.com/cip-fl/cip/internal/flcli"
 )
 
 type loadReport struct {
@@ -59,6 +60,8 @@ func run() error {
 	dim := flag.Int("dim", 1024, "parameter-vector length (one dense update is 8·dim bytes)")
 	rounds := flag.Int("rounds", 5, "communication rounds per phase")
 	leavesN := flag.Int("leaves", 4, "leaf aggregators in the tree phase")
+	interiorsN := flag.Int("interiors", 0,
+		"interior aggregators between root and leaves in the tree phase (0 = depth-2 tree)")
 	window := flag.Int("window", 0, "streaming admission window (0 keeps the transport default)")
 	readBuf := flag.Int("readbuf", 256, "per-connection read-buffer bytes (0 keeps bufio's 4 KiB)")
 	gateClients := flag.Int("gate-clients", 10000, "roster size of the gate phase")
@@ -67,7 +70,12 @@ func run() error {
 	phases := flag.String("phases", "flat,tree,gate", "comma-separated phases to run")
 	out := flag.String("out", "", "write the json report here (default stdout)")
 	note := flag.String("note", "", "free-form note embedded in the report")
+	treeFlags := flcli.RegisterTreePolicyFlags()
 	flag.Parse()
+
+	if err := treeFlags.Validate("flat"); err != nil {
+		return err
+	}
 
 	want := map[string]bool{}
 	for _, p := range strings.Split(*phases, ",") {
@@ -92,11 +100,16 @@ func run() error {
 	}
 	if want["tree"] {
 		cfg := bench.ScaleConfig{Clients: *clients, Dim: *dim, Rounds: *rounds,
-			Window: *window, ReadBuf: *readBuf, Leaves: *leavesN}
+			Window: *window, ReadBuf: *readBuf, Leaves: *leavesN, Interiors: *interiorsN,
+			SubtreeQuorum: *treeFlags.SubtreeQuorum, CoverageFloor: *treeFlags.CoverageFloor}
 		if rep.Tree, err = bench.RunScaleLoad(cfg); err != nil {
 			return fmt.Errorf("tree phase: %w", err)
 		}
-		describe(fmt.Sprintf("tree(%d)", *leavesN), rep.Tree)
+		tag := fmt.Sprintf("tree(%d)", *leavesN)
+		if *interiorsN > 0 {
+			tag = fmt.Sprintf("tree(%d/%d)", *interiorsN, *leavesN)
+		}
+		describe(tag, rep.Tree)
 	}
 	if want["gate"] {
 		rep.GateStreaming, rep.GateBuffered, rep.GateHeapReduction, err =

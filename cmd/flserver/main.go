@@ -58,13 +58,16 @@ func run() error {
 		"reject client updates whose L2 norm exceeds this; 0 disables the bound")
 	role := flag.String("role", "flat",
 		"topology role: flat (own the whole client roster), leaf (aggregate a client shard and "+
-			"forward one weighted partial per round to -root), or root (accept one partial per leaf)")
-	rootAddr := flag.String("root", "", "root coordinator address (required with -role leaf)")
-	leafID := flag.Int("leaf-id", 0, "this leaf's ID in the root's roster (with -role leaf)")
-	leaves := flag.Int("leaves", 0, "leaf roster size (with -role root; 0 means -clients)")
+			"forward one weighted partial per round to -parent), interior (aggregate partials "+
+			"from child nodes and forward one partial to -parent), or root (accept one partial "+
+			"per child and own the global model)")
+	rootAddr := flag.String("root", "", "legacy alias for -parent (with -role leaf)")
+	leafID := flag.Int("leaf-id", 0, "this node's ID in its parent's roster (with -role leaf or interior)")
+	leaves := flag.Int("leaves", 0, "child roster size (with -role root or interior; 0 means -clients)")
 	robustFlags := flcli.RegisterRobustFlags()
 	codecFlag := flcli.RegisterCodecFlag()
 	sampleFlags := flcli.RegisterSampleFlags()
+	treeFlags := flcli.RegisterTreeFlags()
 	flag.Parse()
 
 	codec, err := flcli.ParseCodec(*codecFlag)
@@ -72,6 +75,9 @@ func run() error {
 		return err
 	}
 	if err := sampleFlags.Validate(); err != nil {
+		return err
+	}
+	if err := treeFlags.Validate(*role); err != nil {
 		return err
 	}
 	p, scale, err := flcli.ParseDataset(*dataset, *scaleName)
@@ -115,9 +121,9 @@ func run() error {
 	switch *role {
 	case "flat":
 	case "root":
-		// The root of a leaf/root tree: every roster slot is a leaf
+		// The root of an aggregation tree: every roster slot is a child
 		// aggregator sending one weighted partial per round, and killed
-		// leaves may rejoin at a round boundary.
+		// children may rejoin at a round boundary.
 		if codec != "binary" {
 			return fmt.Errorf("-role root requires -codec binary (partial frames have no gob spelling)")
 		}
@@ -126,24 +132,48 @@ func run() error {
 		if *leaves > 0 {
 			coord.NumClients = *leaves
 		}
-	case "leaf":
-		if *rootAddr == "" {
-			return fmt.Errorf("-role leaf requires -root (the root coordinator's address)")
+		if *treeFlags.SubtreeQuorum > 0 {
+			coord.MinQuorum = *treeFlags.SubtreeQuorum
+		}
+		coord.CoverageFloor = *treeFlags.CoverageFloor
+	case "leaf", "interior":
+		parent := treeFlags.ParentAddr(*rootAddr)
+		if parent == "" {
+			return fmt.Errorf("-role %s requires -parent (the upstream aggregator's address)", *role)
 		}
 		if *ckptPath != "" {
-			return fmt.Errorf("-role leaf cannot checkpoint; leaves are stateless — checkpoint the root")
+			return fmt.Errorf("-role %s cannot checkpoint; tree nodes are stateless — checkpoint the root", *role)
+		}
+		if *role == "interior" {
+			if codec != "binary" {
+				return fmt.Errorf("-role interior requires -codec binary (partial frames have no gob spelling)")
+			}
+			coord.AcceptPartials = true
+			coord.AcceptRejoins = true
+			if *leaves > 0 {
+				coord.NumClients = *leaves
+			}
+			coord.CoverageFloor = *treeFlags.CoverageFloor
+		}
+		if *treeFlags.SubtreeQuorum > 0 {
+			coord.MinQuorum = *treeFlags.SubtreeQuorum
 		}
 		leaf := &transport.Leaf{
-			ID:    *leafID,
-			Root:  *rootAddr,
-			Local: *coord,
+			ID:         *leafID,
+			Root:       parent,
+			AltParents: treeFlags.AltList(),
+			Local:      *coord,
 			Retry: transport.RetryConfig{
 				MaxAttempts: 10,
 				Stop:        flcli.ShutdownSignal(),
 			},
 		}
-		fmt.Printf("leaf %d: waiting for %d shard clients, forwarding partials to %s\n",
-			*leafID, *clients, *rootAddr)
+		what := "shard clients"
+		if *role == "interior" {
+			what = "child aggregators"
+		}
+		fmt.Printf("%s %d: waiting for %d %s, forwarding partials to %s\n",
+			*role, *leafID, coord.NumClients, what, parent)
 		global, err := leaf.ListenAndRun(*addr, func(a string) {
 			fmt.Printf("listening on %s\n", a)
 		})
@@ -169,7 +199,7 @@ func run() error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -role %q (want flat, leaf, or root)", *role)
+		return fmt.Errorf("unknown -role %q (want flat, leaf, interior, or root)", *role)
 	}
 	if robustAgg != nil {
 		fmt.Printf("robust aggregation: %s\n", robustAgg.Name())

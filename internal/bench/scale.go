@@ -109,6 +109,16 @@ type ScaleConfig struct {
 	// Leaves, when > 0, runs a leaf/root tree with this many in-process
 	// leaf aggregators instead of a flat coordinator.
 	Leaves int
+	// Interiors, when > 0 in tree mode, inserts this many interior
+	// aggregators between the root and the leaves (a depth-3 tree);
+	// leaves attach to interiors round-robin.
+	Interiors int
+	// SubtreeQuorum sets MinQuorum on every leaf and interior node
+	// (0 keeps the nodes fail-stop).
+	SubtreeQuorum int
+	// CoverageFloor sets Coordinator.CoverageFloor on every partial-
+	// accepting node (root and interiors).
+	CoverageFloor float64
 	// ReadBuf shrinks every per-connection read buffer
 	// (Coordinator.ReadBufSize); 0 keeps bufio's 4 KiB default.
 	ReadBuf int
@@ -121,6 +131,7 @@ type ScaleResult struct {
 	Dim          int     `json:"dim"`
 	Rounds       int     `json:"rounds"`
 	Leaves       int     `json:"leaves,omitempty"`
+	Interiors    int     `json:"interiors,omitempty"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 	// P50/P99 are over per-round wall times after the first round (round
@@ -251,6 +262,11 @@ func RunScaleLoad(cfg ScaleConfig) (*ScaleResult, error) {
 		if cfg.Clients < 2*cfg.Leaves {
 			return nil, fmt.Errorf("scale: %d clients cannot cover %d leaves", cfg.Clients, cfg.Leaves)
 		}
+		if cfg.Interiors > cfg.Leaves {
+			return nil, fmt.Errorf("scale: %d leaves cannot cover %d interiors", cfg.Leaves, cfg.Interiors)
+		}
+	} else if cfg.Interiors > 0 {
+		return nil, fmt.Errorf("scale: Interiors requires tree mode (Leaves > 0)")
 	}
 
 	// Settle the heap so PeakHeapBytes measures this run, not leftovers
@@ -289,6 +305,7 @@ func RunScaleLoad(cfg ScaleConfig) (*ScaleResult, error) {
 		Dim:           cfg.Dim,
 		Rounds:        cfg.Rounds,
 		Leaves:        cfg.Leaves,
+		Interiors:     cfg.Interiors,
 		ElapsedSec:    elapsed.Seconds(),
 		RoundsPerSec:  float64(cfg.Rounds) / elapsed.Seconds(),
 		P50RoundMs:    float64(percentile(clock.durations, 0.50)) / float64(time.Millisecond),
@@ -351,14 +368,20 @@ func runScaleFlat(cfg ScaleConfig, clock *roundClock) error {
 }
 
 func runScaleTree(cfg ScaleConfig, clock *roundClock) error {
-	rootLn := newMemListener(cfg.Leaves)
+	top := cfg.Leaves
+	if cfg.Interiors > 0 {
+		top = cfg.Interiors
+	}
+	rootLn := newMemListener(top)
 	defer rootLn.Close() //nolint:errcheck
 	root := &transport.Coordinator{
-		NumClients:         cfg.Leaves,
+		NumClients:         top,
 		Rounds:             cfg.Rounds,
 		Initial:            make([]float64, cfg.Dim),
 		Codec:              "binary",
 		AcceptPartials:     true,
+		MinQuorum:          cfg.SubtreeQuorum,
+		CoverageFloor:      cfg.CoverageFloor,
 		MaxInflightUpdates: cfg.Window,
 		ReadBufSize:        cfg.ReadBuf,
 		AfterRound:         clock.afterRound,
@@ -374,7 +397,47 @@ func runScaleTree(cfg ScaleConfig, clock *roundClock) error {
 	}()
 
 	var errs firstErr
-	waits := make([]func(), 0, 2*cfg.Leaves)
+	waits := make([]func(), 0, 2*cfg.Leaves+cfg.Interiors)
+
+	// Optional interior tier: leaves attach to interiors round-robin, so
+	// interior i serves the leaves with ID ≡ i (mod Interiors).
+	parentDial := rootLn.Dial
+	leafDial := func(int) func(string) (net.Conn, error) { return parentDial }
+	if cfg.Interiors > 0 {
+		dials := make([]func(string) (net.Conn, error), cfg.Interiors)
+		for i := 0; i < cfg.Interiors; i++ {
+			kids := (cfg.Leaves - i + cfg.Interiors - 1) / cfg.Interiors
+			iln := newMemListener(kids)
+			defer iln.Close() //nolint:errcheck
+			dials[i] = iln.Dial
+			interior := &transport.Leaf{
+				ID:   i,
+				Root: "mem",
+				Local: transport.Coordinator{
+					NumClients:         kids,
+					Initial:            make([]float64, cfg.Dim),
+					Codec:              "binary",
+					AcceptPartials:     true,
+					MinQuorum:          cfg.SubtreeQuorum,
+					CoverageFloor:      cfg.CoverageFloor,
+					MaxInflightUpdates: cfg.Window,
+					ReadBufSize:        cfg.ReadBuf,
+				},
+				Retry: transport.RetryConfig{MaxAttempts: 1, Dial: rootLn.Dial},
+			}
+			var iwg sync.WaitGroup
+			iwg.Add(1)
+			go func(interior *transport.Leaf, iln *memListener) {
+				defer iwg.Done()
+				if _, err := interior.RunWithListener(iln, nil); err != nil {
+					errs.set(fmt.Errorf("interior %d: %w", interior.ID, err))
+				}
+			}(interior, iln)
+			waits = append(waits, iwg.Wait)
+		}
+		leafDial = func(l int) func(string) (net.Conn, error) { return dials[l%cfg.Interiors] }
+	}
+
 	share := cfg.Clients / cfg.Leaves
 	for l := 0; l < cfg.Leaves; l++ {
 		n := share
@@ -384,16 +447,17 @@ func runScaleTree(cfg ScaleConfig, clock *roundClock) error {
 		ln := newMemListener(n)
 		defer ln.Close() //nolint:errcheck
 		leaf := &transport.Leaf{
-			ID:   l,
+			ID:   l / max(cfg.Interiors, 1),
 			Root: "mem",
 			Local: transport.Coordinator{
 				NumClients:         n,
 				Initial:            make([]float64, cfg.Dim),
 				Codec:              "binary",
+				MinQuorum:          cfg.SubtreeQuorum,
 				MaxInflightUpdates: cfg.Window,
 				ReadBufSize:        cfg.ReadBuf,
 			},
-			Retry: transport.RetryConfig{MaxAttempts: 1, Dial: rootLn.Dial},
+			Retry: transport.RetryConfig{MaxAttempts: 1, Dial: leafDial(l)},
 		}
 		var lwg sync.WaitGroup
 		lwg.Add(1)

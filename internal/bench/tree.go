@@ -1,0 +1,247 @@
+package bench
+
+// The tree-robustness gate: the robust tree's correctness rests on the
+// bottom-K row reservoir (internal/fl/robust.Sketch), which is exact up
+// to its capacity and a uniform K-subsample above it. This gate measures
+// the actual depth-2 merge error of Median and TrimmedMean against the
+// flat rule over the full row set and enforces the documented DKW
+// quantile envelope (DESIGN.md §15), then compares depth-3 tree round
+// tail latency against the flat federation at the same roster.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/cip-fl/cip/internal/fl/robust"
+)
+
+// TreeRuleGate is one rule's measured depth-2 sketch error next to its
+// theoretical envelope.
+type TreeRuleGate struct {
+	Rule      string `json:"rule"`
+	Rows      int    `json:"rows"`
+	SketchCap int    `json:"sketch_cap"`
+	Exact     bool   `json:"exact"`
+	// MaxAbsErr is the worst per-coordinate |tree − flat| deviation;
+	// MaxBound is the worst per-coordinate allowance from the quantile
+	// envelope. Every coordinate is checked against its own bound — the
+	// maxima are recorded for the report only.
+	MaxAbsErr float64 `json:"max_abs_err"`
+	MaxBound  float64 `json:"max_bound"`
+}
+
+// TreeGateReport is the BENCH_PR10 artifact: sketch-error lines per rule
+// plus the flat-vs-depth-3-tree latency pair.
+type TreeGateReport struct {
+	Note       string `json:"note,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// RankEps is the DKW rank-error ε = sqrt(ln(2/δ)/2K) backing the
+	// envelopes, at the recorded confidence δ.
+	RankEps    float64        `json:"rank_eps"`
+	Delta      float64        `json:"delta"`
+	Rules      []TreeRuleGate `json:"rules"`
+	ExactRules []TreeRuleGate `json:"exact_rules"`
+	Flat       *ScaleResult   `json:"flat"`
+	Tree       *ScaleResult   `json:"tree"`
+}
+
+// quantile returns the empirical q-quantile of sorted (ascending) vals,
+// widened outward to the enclosing order statistic so the envelope never
+// under-covers from rank rounding.
+func quantile(sorted []float64, q float64, up bool) float64 {
+	n := len(sorted)
+	r := q * float64(n-1)
+	var i int
+	if up {
+		i = int(math.Ceil(r))
+	} else {
+		i = int(math.Floor(r))
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
+// treeRows synthesizes n heavy-tailed client rows: a per-coordinate
+// offset plus unit noise, with 5% gross outliers — the population the
+// robust rules exist for.
+func treeRows(rng *rand.Rand, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = 0.1*float64(j) + rng.NormFloat64()
+			if rng.Float64() < 0.05 {
+				row[j] += 50 * (rng.Float64()*2 - 1)
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// mergeThroughTree pushes rows through a depth-2 sketch tree: `leaves`
+// client-facing reservoirs, merged into one root reservoir — exactly the
+// algebra the transport layer runs per round.
+func mergeThroughTree(rows [][]float64, leaves, capRows int) (*robust.Sketch, error) {
+	root := robust.NewSketch(capRows)
+	per := (len(rows) + leaves - 1) / leaves
+	for l := 0; l < leaves; l++ {
+		lo, hi := l*per, (l+1)*per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			continue
+		}
+		sk := robust.NewSketch(capRows)
+		for i := lo; i < hi; i++ {
+			sk.Add(robust.KeyClient(i), rows[i])
+		}
+		if err := root.Merge(sk); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+// gateRule measures one rule's tree-vs-flat deviation and checks each
+// coordinate against its quantile envelope: for the median, the true
+// (½±ε)-quantile window; for an f-trimmed mean, ε/(1−2f) of the kept
+// window's width (the largest shift replacing an ε rank-fraction of the
+// kept mass can induce).
+func gateRule(name string, agg robust.Aggregator, rows [][]float64, leaves, capRows int, eps float64, trimFrac float64) (TreeRuleGate, error) {
+	g := TreeRuleGate{Rule: name, Rows: len(rows), SketchCap: capRows}
+	dim := len(rows[0])
+	center := make([]float64, dim)
+
+	flat, _, err := agg.Aggregate(center, rows, nil)
+	if err != nil {
+		return g, fmt.Errorf("flat %s: %w", name, err)
+	}
+	sk, err := mergeThroughTree(rows, leaves, capRows)
+	if err != nil {
+		return g, err
+	}
+	g.Exact = sk.Exact()
+	tree, _, err := agg.Aggregate(center, sk.RowsView(), nil)
+	if err != nil {
+		return g, fmt.Errorf("tree %s: %w", name, err)
+	}
+
+	col := make([]float64, len(rows))
+	for j := 0; j < dim; j++ {
+		for i, r := range rows {
+			col[i] = r[j]
+		}
+		sort.Float64s(col)
+		errAbs := math.Abs(tree[j] - flat[j])
+		var bound float64
+		if g.Exact {
+			bound = 0
+		} else if trimFrac > 0 {
+			bound = eps / (1 - 2*trimFrac) * (quantile(col, 1-trimFrac, true) - quantile(col, trimFrac, false))
+		} else {
+			lo, hi := quantile(col, 0.5-eps, false), quantile(col, 0.5+eps, true)
+			bound = hi - lo
+			if tree[j] < lo-1e-12 || tree[j] > hi+1e-12 {
+				return g, fmt.Errorf(
+					"tree gate: %s coordinate %d: tree estimate %v outside the (½±ε) envelope [%v, %v]",
+					name, j, tree[j], lo, hi)
+			}
+		}
+		if errAbs > g.MaxAbsErr {
+			g.MaxAbsErr = errAbs
+		}
+		if bound > g.MaxBound {
+			g.MaxBound = bound
+		}
+		if errAbs > bound+1e-12 {
+			return g, fmt.Errorf(
+				"tree gate: %s coordinate %d: tree-vs-flat error %v exceeds the documented bound %v",
+				name, j, errAbs, bound)
+		}
+	}
+	return g, nil
+}
+
+// TreeGate runs the full gate. latency=false skips the scale-load
+// latency pair (tests exercise the sketch-error lines alone).
+func TreeGate(latency bool) (*TreeGateReport, error) {
+	const (
+		dim      = 32
+		nApprox  = 256
+		nExact   = 48
+		leaves   = 8
+		capRows  = 64
+		delta    = 1e-6
+		trimFrac = 0.2
+	)
+	rep := &TreeGateReport{
+		Delta:   delta,
+		RankEps: robust.SampleRankError(capRows, delta),
+	}
+	rng := rand.New(rand.NewSource(41))
+	approx := treeRows(rng, nApprox, dim)
+	exact := treeRows(rng, nExact, dim)
+
+	rules := []struct {
+		name string
+		agg  robust.Aggregator
+		frac float64
+	}{
+		{"median", robust.Median{}, 0},
+		{"trimmed", robust.TrimmedMean{Frac: trimFrac}, trimFrac},
+	}
+	for _, r := range rules {
+		g, err := gateRule(r.name, r.agg, approx, leaves, capRows, rep.RankEps, r.frac)
+		if err != nil {
+			return rep, err
+		}
+		if g.Exact {
+			return rep, fmt.Errorf("tree gate: %d rows under cap %d stayed exact; the approximate regime went unexercised", nApprox, capRows)
+		}
+		rep.Rules = append(rep.Rules, g)
+
+		ge, err := gateRule(r.name, r.agg, exact, leaves, capRows, rep.RankEps, r.frac)
+		if err != nil {
+			return rep, err
+		}
+		if !ge.Exact || ge.MaxAbsErr != 0 {
+			return rep, fmt.Errorf("tree gate: %s with %d rows under cap %d must be bit-exact (err %v)",
+				r.name, nExact, capRows, ge.MaxAbsErr)
+		}
+		rep.ExactRules = append(rep.ExactRules, ge)
+	}
+
+	if !latency {
+		return rep, nil
+	}
+	flatCfg := ScaleConfig{Clients: 2000, Dim: 256, Rounds: 3}
+	flat, err := RunScaleLoad(flatCfg)
+	if err != nil {
+		return rep, fmt.Errorf("tree gate: flat load: %w", err)
+	}
+	treeCfg := flatCfg
+	treeCfg.Leaves, treeCfg.Interiors = leaves, 2
+	tree, err := RunScaleLoad(treeCfg)
+	if err != nil {
+		return rep, fmt.Errorf("tree gate: tree load: %w", err)
+	}
+	rep.Flat, rep.Tree = flat, tree
+	// The tree adds two store-and-forward hops per round; the line is a
+	// generous relative bound so a loaded CI machine doesn't flake it,
+	// while still catching a quadratic or stalling regression.
+	if limit := 5*flat.P99RoundMs + 50; tree.P99RoundMs > limit {
+		return rep, fmt.Errorf(
+			"tree gate: depth-3 tree p99 round latency %.1fms exceeds %.1fms (5x flat p99 %.1fms + 50ms)",
+			tree.P99RoundMs, limit, flat.P99RoundMs)
+	}
+	return rep, nil
+}

@@ -1,0 +1,23 @@
+package bench
+
+import "testing"
+
+// TestTreeGateSketchLines runs the sketch-error half of the tree gate:
+// exactness below capacity and the DKW envelope above it.
+func TestTreeGateSketchLines(t *testing.T) {
+	rep, err := TreeGate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rules) != 2 || len(rep.ExactRules) != 2 {
+		t.Fatalf("gate covered %d approximate and %d exact rules, want 2+2", len(rep.Rules), len(rep.ExactRules))
+	}
+	for _, g := range rep.Rules {
+		if g.MaxAbsErr <= 0 {
+			t.Fatalf("%s: approximate regime measured zero error — the subsample path did not run", g.Rule)
+		}
+		if g.MaxAbsErr > g.MaxBound {
+			t.Fatalf("%s: max error %v above max bound %v", g.Rule, g.MaxAbsErr, g.MaxBound)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/cip-fl/cip/internal/fl/wire"
+)
+
+// ErrFrameCut is returned by a CutConn's Write when it fires: the
+// scheduled frame was truncated mid-wire and the connection closed.
+var ErrFrameCut = errors.New("faults: injected mid-frame connection cut")
+
+// CutConn wraps a net.Conn and kills it in the middle of one scheduled
+// outbound wire frame: the (skip+1)-th Write that starts a frame of the
+// target type is truncated to half its bytes and the connection is closed
+// under it, so the peer receives a torn frame followed by EOF — the
+// worst-case shape of a process killed mid-send. The sender sees
+// ErrFrameCut. Frames are matched on the wire header (magic byte plus
+// frame type), which works because the transport writes each frame with a
+// single Write call.
+type CutConn struct {
+	net.Conn
+	mu    sync.Mutex
+	typ   byte
+	skip  int
+	fired bool
+}
+
+// CutFrame wraps c to cut the (skip+1)-th outbound frame of frameType
+// (a wire.Msg* constant) in half.
+func CutFrame(c net.Conn, frameType byte, skip int) *CutConn {
+	return &CutConn{Conn: c, typ: frameType, skip: skip}
+}
+
+// Fired reports whether the cut has happened.
+func (c *CutConn) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Write implements net.Conn.
+func (c *CutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	fire := false
+	if !c.fired && len(p) > wire.HeaderLen && p[0] == wire.Magic && p[2] == c.typ {
+		if c.skip > 0 {
+			c.skip--
+		} else {
+			fire = true
+			c.fired = true
+		}
+	}
+	c.mu.Unlock()
+	if !fire {
+		return c.Conn.Write(p)
+	}
+	n, _ := c.Conn.Write(p[:len(p)/2])
+	c.Conn.Close()
+	return n, ErrFrameCut
+}
+
+// KillPlan schedules tree-node kills by round: round index → IDs of the
+// nodes killed during that round. The chaos harness consults it each
+// round and cuts the victims' parent links.
+type KillPlan map[int][]int
+
+// DrawKillPlan draws a deterministic plan from rng: kills (round, victim)
+// events sampled without replacement from rounds × victims, so the same
+// seed always kills the same nodes at the same rounds and no node dies
+// twice in one round.
+func DrawKillPlan(rng *rand.Rand, rounds int, victims []int, kills int) KillPlan {
+	type event struct{ round, victim int }
+	all := make([]event, 0, rounds*len(victims))
+	for r := 0; r < rounds; r++ {
+		for _, v := range victims {
+			all = append(all, event{r, v})
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if kills > len(all) {
+		kills = len(all)
+	}
+	plan := make(KillPlan, kills)
+	for _, e := range all[:kills] {
+		plan[e.round] = append(plan[e.round], e.victim)
+	}
+	for _, vs := range plan {
+		sort.Ints(vs)
+	}
+	return plan
+}
+
+// Victims returns the node IDs scheduled to die on round (nil when none).
+func (p KillPlan) Victims(round int) []int { return p[round] }
+
+// ErrPartitioned is the dial error behind a closed Partition gate.
+var ErrPartitioned = errors.New("faults: network partitioned")
+
+// Partition is a switchable fault domain for injected dialers: while
+// partitioned, every dial through Gate fails fast, simulating a subtree
+// cut off from its parent; Heal restores connectivity and lets the
+// node's retry/failover logic reconnect.
+type Partition struct {
+	mu   sync.Mutex
+	open bool
+}
+
+// Split opens the partition (dials fail).
+func (p *Partition) Split() {
+	p.mu.Lock()
+	p.open = true
+	p.mu.Unlock()
+}
+
+// Heal closes the partition (dials pass through again).
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	p.open = false
+	p.mu.Unlock()
+}
+
+// Isolated reports whether the partition is currently open.
+func (p *Partition) Isolated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.open
+}
+
+// Gate wraps dial (pluggable into transport.RetryConfig.Dial) with the
+// partition check; a nil dial uses plain TCP.
+func (p *Partition) Gate(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		if p.Isolated() {
+			return nil, fmt.Errorf("%w: %s unreachable", ErrPartitioned, addr)
+		}
+		return dial(addr)
+	}
+}

@@ -41,6 +41,22 @@ type Partial struct {
 	Weight float64
 	// Count is how many client updates were folded into Sum.
 	Count int
+
+	// The remaining fields ride the v2 partial frame (wire.MsgPartial2)
+	// and are zero on v1 partials.
+
+	// ExpectWeight is the weight the subtree PLANNED to contribute this
+	// round — the summed weights of its post-sampling cohort, including
+	// members that subsequently failed. The root's round coverage is
+	// Σ Weight / Σ ExpectWeight over accepted partials.
+	ExpectWeight float64
+	// Degraded marks a partial forwarded below the subtree's MinQuorum:
+	// still valid, but explicitly covering less weight than planned.
+	Degraded bool
+	// Sketch, when non-nil, carries the subtree's mergeable row reservoir
+	// so sort-based robust rules (median, trimmed mean) can run at the
+	// tree root; nil partials fall back to one implied-mean row.
+	Sketch *robust.Sketch
 }
 
 // ValidatePartial rejects partials that would poison the root aggregate: a
@@ -71,6 +87,34 @@ func ValidatePartial(p Partial, wantLen int, maxNorm float64) error {
 		if n := math.Sqrt(ss); n > maxNorm {
 			return fmt.Errorf("fl: leaf %d partial mean L2 norm %.4g exceeds bound %.4g",
 				p.LeafID, n, maxNorm)
+		}
+	}
+	if math.IsNaN(p.ExpectWeight) || math.IsInf(p.ExpectWeight, 0) || p.ExpectWeight < 0 {
+		return fmt.Errorf("fl: leaf %d partial has invalid expected weight %v", p.LeafID, p.ExpectWeight)
+	}
+	if p.ExpectWeight > 0 && p.Weight > p.ExpectWeight*(1+1e-9) {
+		return fmt.Errorf("fl: leaf %d partial weight %v exceeds its own expectation %v",
+			p.LeafID, p.Weight, p.ExpectWeight)
+	}
+	if p.Sketch != nil {
+		if err := p.Sketch.Validate(wantLen); err != nil {
+			return fmt.Errorf("fl: leaf %d partial: %w", p.LeafID, err)
+		}
+		if p.Sketch.Rows > p.Count {
+			return fmt.Errorf("fl: leaf %d partial sketch represents %d rows but claims %d clients",
+				p.LeafID, p.Sketch.Rows, p.Count)
+		}
+		if maxNorm > 0 {
+			for i, row := range p.Sketch.RowsView() {
+				var rss float64
+				for _, v := range row {
+					rss += v * v
+				}
+				if n := math.Sqrt(rss); n > maxNorm {
+					return fmt.Errorf("fl: leaf %d partial sketch row %d L2 norm %.4g exceeds bound %.4g",
+						p.LeafID, i, n, maxNorm)
+				}
+			}
 		}
 	}
 	return nil

@@ -64,6 +64,14 @@ type Metrics struct {
 	// roster × 8·params under the buffered path — the memory win the
 	// streaming refactor exists for, made observable.
 	RoundPeakUpdateBytes *telemetry.Gauge // fl_round_peak_update_bytes
+	// TreeShardsLost counts aggregation-tree subtrees (partial-forwarding
+	// children) whose round contribution was lost after the accept window
+	// opened — the previously silent whole-shard accuracy loss.
+	TreeShardsLost *telemetry.Counter // fl_tree_shard_lost_total
+	// RoundCoverage is the fraction of the most recent round's planned
+	// cohort weight that actually reached the aggregate (1.0 = every
+	// planned contributor delivered; degraded subtrees pull it down).
+	RoundCoverage *telemetry.Gauge // fl_round_coverage_weight
 
 	// reg backs the lazily registered per-client anomaly-score gauges
 	// (fl_client_anomaly_score{client="N"}).
@@ -112,6 +120,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Dense-bytes / wire-bytes ratio of the most recent compressed update."),
 		RoundPeakUpdateBytes: reg.Gauge("fl_round_peak_update_bytes",
 			"Peak decoded-update bytes held in aggregator memory during the most recent round."),
+		TreeShardsLost: reg.Counter("fl_tree_shard_lost_total",
+			"Aggregation-tree subtrees whose contribution was lost after the round started."),
+		RoundCoverage: reg.Gauge("fl_round_coverage_weight",
+			"Fraction of the most recent round's planned cohort weight that reached the aggregate."),
 		reg: reg,
 	}
 }
@@ -128,6 +140,24 @@ func (m *Metrics) RecordCompressedUpdate(wireBytes, denseBytes int) {
 	if wireBytes > 0 {
 		m.CompressionRatio.Set(float64(denseBytes) / float64(wireBytes))
 	}
+}
+
+// RecordTreeShardLost counts one aggregation subtree lost mid-round.
+// Nil-safe.
+func (m *Metrics) RecordTreeShardLost() {
+	if m == nil {
+		return
+	}
+	m.TreeShardsLost.Inc()
+}
+
+// RecordRoundCoverage records the fraction of planned cohort weight that
+// reached the most recent round's aggregate. Nil-safe.
+func (m *Metrics) RecordRoundCoverage(coverage float64) {
+	if m == nil {
+		return
+	}
+	m.RoundCoverage.Set(coverage)
 }
 
 // RecordRobust records one round's robust-aggregation report. Nil-safe.

@@ -60,6 +60,11 @@ type ServerState struct {
 	Compress []byte
 	// Clients maps client ID to its captured local-state blob.
 	Clients map[int][]byte
+	// LastCoverage is the most recent round's aggregation-tree coverage
+	// (delivered / planned cohort weight; 1 on flat federations). Older
+	// snapshots decode with it 0 — gob tolerates the addition — and the
+	// value is forensic only: resume logic never branches on it.
+	LastCoverage float64
 }
 
 // CaptureState snapshots the server at a round boundary. Every client must

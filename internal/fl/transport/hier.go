@@ -13,38 +13,84 @@ import (
 	"github.com/cip-fl/cip/internal/fl/wire"
 )
 
-// Leaf is the mid-tier of a hierarchical aggregation tree: a coordinator
-// for its local client shard and a client of the root. It runs the
-// ordinary coordinator protocol against its roster, but instead of
-// advancing the global itself it forwards one pre-division weighted
-// partial (Σ wᵢ·uᵢ, Σ wᵢ, count) per round to the root over a MsgPartial
-// frame. The root — a Coordinator with AcceptPartials — folds one partial
-// per leaf, so its per-round traffic and memory scale with the number of
-// leaves, not the client population. Because the weighted mean is
-// associative over (sum, weight) pairs, a leaf/root tree computes
-// bit-identically the same aggregate as a flat federation folding the
-// same updates in the same order.
+// Leaf is one non-root node of an aggregation tree: a coordinator for the
+// tier below it and a client of its parent. A client-facing leaf runs the
+// ordinary coordinator protocol against its shard roster; an interior
+// node (Local.AcceptPartials) instead serves child aggregators, so trees
+// compose to arbitrary depth. Either way, instead of advancing the global
+// itself the node forwards one pre-division weighted partial (Σ wᵢ·uᵢ,
+// Σ wᵢ, count) per round to its parent. The root — a Coordinator with
+// AcceptPartials — folds one partial per child, so every tier's per-round
+// traffic and memory scale with its fan-out, not the client population.
+// Because the weighted mean is associative over (sum, weight) pairs, a
+// tree computes bit-identically the same mean aggregate as a flat
+// federation folding the same updates in the same order.
 //
-// Reputation and quarantine stay at the leaf (the only tier that sees
-// individual updates); the root validates each partial structurally and
-// semantically (weight and count positivity, finiteness, implied-mean
-// norm bound) before folding it.
+// Partial protocol v2 (negotiated per link, falling back to v1 against
+// old parents) extends the tree with failure-domain awareness:
+//
+//   - Graceful degradation: a node that loses its local quorum but still
+//     holds ≥1 valid update forwards a Degraded partial carrying its full
+//     planned weight, so the parent's coverage accounting sees exactly
+//     how much of the subtree went missing instead of losing the whole
+//     shard (see Coordinator.CoverageFloor for the root-side policy).
+//   - Failover: when the per-parent retry budget against Root is
+//     exhausted, the node re-parents to each address in AltParents in
+//     order, with a fresh backoff ramp per parent. Session tokens are
+//     checked across failovers, so every address must front the same
+//     federation session.
+//   - Row sketches: when the root runs a robust rule, a bottom-k row
+//     reservoir (internal/fl/robust.Sketch) rides each partial and merges
+//     losslessly at every tier, letting median/trimmed-mean evaluate at
+//     the root over per-client rows the mean-only partials cannot carry.
+//   - Root-coordinated sampling: the root's SampleFraction/SampleSeed
+//     ride the MsgRound2 broadcast down the tree; client-facing shards
+//     apply it with their leaf ID mixed into the seed (quorum-clamped
+//     per shard), so one directive thins the whole population.
+//
+// Reputation and quarantine stay at the client-facing tier (the only one
+// that sees individual updates); every parent validates each partial
+// structurally and semantically (weight/count positivity, finiteness,
+// expectation bound, sketch shape, implied-mean norm bound) before
+// folding it.
 type Leaf struct {
-	// ID identifies this leaf to the root (its client ID in the root's
-	// roster).
+	// ID identifies this node to its parent (its client ID in the
+	// parent's roster).
 	ID int
-	// Root is the root coordinator's address, dialed through Retry.
+	// Root is the parent's address, dialed through Retry.
 	Root string
-	// Local configures the shard-facing coordinator: roster size, quorum,
-	// timeouts, codec, sampling, reputation. Rounds is ignored (the root
-	// drives the schedule), and Robust, AcceptPartials, Checkpoint, and
-	// Restore must be unset — partials only compose under the weighted
-	// mean, and leaves are deliberately stateless across rounds (every
-	// round's partial depends only on the root's broadcast).
+	// AltParents are fallback parent addresses tried in order after the
+	// per-parent retry budget against Root (then each earlier alternate)
+	// is exhausted — the re-parenting path when a parent dies for good.
+	// Every address must belong to the same federation session.
+	AltParents []string
+	// PartialVersion caps the partial-protocol version offered to the
+	// parent: 0 (default) and 2 offer v2 — coverage metadata, graceful
+	// degradation, sketches, MsgRound2 — while 1 pins the legacy v1
+	// exchange. The parent settles at min(offer, its own version).
+	PartialVersion int
+	// Local configures the tier-facing coordinator: roster size, quorum,
+	// timeouts, codec, sampling, reputation. Setting AcceptPartials makes
+	// this an interior node serving child aggregators (binary codec
+	// required). Rounds is ignored (the root drives the schedule), and
+	// Robust, Checkpoint, and Restore must be unset — robust evaluation
+	// runs at the root over merged row sketches, and non-root nodes are
+	// deliberately stateless across rounds (every round's partial depends
+	// only on the root's broadcast).
 	Local Coordinator
-	// Retry controls dialing the root: backoff, jitter, compression-free
-	// binary codec, and the Stop channel for clean shutdown.
+	// Retry controls dialing the parent: backoff, jitter,
+	// compression-free binary codec, and the Stop channel for clean
+	// shutdown. MaxAttempts is the consecutive-failure budget per parent
+	// address (refreshed whenever a session makes round progress).
 	Retry RetryConfig
+}
+
+// partialOffer is the protocol version this leaf offers its parent.
+func (l *Leaf) partialOffer() int {
+	if l.PartialVersion == 1 {
+		return 1
+	}
+	return 2
 }
 
 // ListenAndRun binds the shard listener on addr and runs the leaf; see
@@ -58,32 +104,38 @@ func (l *Leaf) ListenAndRun(addr string, ready func(boundAddr string)) ([]float6
 	return l.RunWithListener(ln, ready)
 }
 
-// RunWithListener accepts the local shard roster, joins the root, and
-// relays rounds until the root signals completion: each MsgRound from the
-// root is re-broadcast to the shard, the shard's updates are folded into
-// a weighted partial (streaming when the local configuration allows it),
+// RunWithListener accepts the local roster (clients on a leaf, child
+// aggregators on an interior node), joins the parent, and relays rounds
+// until the root signals completion: each round frame from the parent is
+// re-broadcast downward, the tier's contributions are folded into a
+// weighted partial (streaming when the local configuration allows it),
 // and the partial is sent up. It returns the last globals the root
-// broadcast. A lost root connection is redialed with backoff (the attempt
-// budget refreshing on progress, as in RunClientRetry); a lost local
-// quorum is fatal — a leaf that cannot cover its shard must leave the
-// tree so the root's quorum accounting sees it.
+// broadcast. A lost parent connection is redialed with backoff — the
+// attempt budget refreshing on progress, as in RunClientRetry — and when
+// one parent's budget runs dry the node fails over to the next AltParents
+// address. A lost local quorum is fatal on a v1 parent link; on a v2 link
+// the node degrades gracefully as long as one valid contribution remains
+// (see Leaf).
 func (l *Leaf) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([]float64, error) {
 	c := &l.Local
 	switch {
 	case c.Robust != nil:
-		return nil, errors.New("transport: leaf shards cannot use a robust rule: partials only compose under the weighted mean")
-	case c.AcceptPartials:
-		return nil, errors.New("transport: a leaf cannot itself accept partials (single-level trees only)")
+		return nil, errors.New("transport: non-root tree nodes cannot use a robust rule: robust evaluation runs at the root over merged row sketches")
+	case c.AcceptPartials && c.Codec != wire.CodecBinary:
+		return nil, errors.New("transport: an interior aggregator requires the binary codec")
+	case c.AcceptPartials && (c.BufferRounds || len(c.Observers) > 0 || c.Reputation != nil):
+		return nil, errors.New("transport: an interior aggregator supports no observers, reputation, or forced buffering")
 	case c.Checkpoint != nil || c.Restore != nil:
-		return nil, errors.New("transport: leaves are stateless; checkpoint the root instead")
+		return nil, errors.New("transport: tree nodes are stateless; checkpoint the root instead")
 	}
 	s := &session{
-		c:           c,
-		global:      append([]float64(nil), c.Initial...),
-		failCounts:  make(map[int]int),
-		durable:     -1,
-		wantPartial: true,
-		leafID:      l.ID,
+		c:            c,
+		global:       append([]float64(nil), c.Initial...),
+		failCounts:   make(map[int]int),
+		durable:      -1,
+		wantPartial:  true,
+		leafID:       l.ID,
+		lastCoverage: 1,
 	}
 	if acc, ok := c.streamingAccumulator(); ok {
 		s.acc = acc
@@ -112,6 +164,8 @@ func (l *Leaf) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([
 	}
 
 	rc := l.Retry.withDefaults()
+	parents := append([]string{l.Root}, l.AltParents...)
+	parent := 0
 	rootToken := ""
 	var lastErr error
 	for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
@@ -124,7 +178,7 @@ func (l *Leaf) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([
 		if stopped(rc.Stop) {
 			return nil, ErrClientStopped
 		}
-		progressed, finished, err := l.rootSession(s, rc, &rootToken)
+		progressed, finished, err := l.rootSession(s, rc, parents[parent], &rootToken)
 		if finished {
 			if derr := s.sendDone(); derr != nil {
 				return nil, derr
@@ -138,17 +192,23 @@ func (l *Leaf) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([
 			attempt = 1 // refresh the backoff budget, as RunClientRetry does
 		}
 		lastErr = err
+		if attempt == rc.MaxAttempts && parent+1 < len(parents) {
+			// This parent's consecutive-failure budget is spent: fail over
+			// to the next address with a fresh budget and backoff ramp.
+			parent++
+			attempt = 0
+		}
 	}
 	return nil, lastErr
 }
 
-// rootSession runs one dial-relay session against the root. progressed
-// reports whether at least one round completed (refreshing the retry
-// budget); finished reports a clean MsgDone end.
-func (l *Leaf) rootSession(s *session, rc RetryConfig, rootToken *string) (progressed, finished bool, err error) {
-	conn, err := rc.Dial(l.Root)
+// rootSession runs one dial-relay session against the parent at addr.
+// progressed reports whether at least one round completed (refreshing the
+// retry budget); finished reports a clean MsgDone end.
+func (l *Leaf) rootSession(s *session, rc RetryConfig, addr string, rootToken *string) (progressed, finished bool, err error) {
+	conn, err := rc.Dial(addr)
 	if err != nil {
-		return false, false, fmt.Errorf("transport: leaf %d dialing root %s: %w", l.ID, l.Root, err)
+		return false, false, fmt.Errorf("transport: leaf %d dialing parent %s: %w", l.ID, addr, err)
 	}
 	defer conn.Close()
 	stop := rc.Stop
@@ -179,7 +239,7 @@ func (l *Leaf) rootSession(s *session, rc RetryConfig, rootToken *string) (progr
 	dec := gob.NewDecoder(br)
 	if err := enc.Encode(hello{
 		ID: l.ID, NumSamples: samples, Token: *rootToken,
-		Codec: wire.CodecBinary, Partial: true,
+		Codec: wire.CodecBinary, Partial: true, PartialV: l.partialOffer(),
 	}); err != nil {
 		return false, false, stopErr(fmt.Errorf("transport: leaf %d sending hello: %w", l.ID, err))
 	}
@@ -189,54 +249,86 @@ func (l *Leaf) rootSession(s *session, rc RetryConfig, rootToken *string) (progr
 	}
 	if !w.Partial {
 		return false, false, errFatal{fmt.Errorf(
-			"transport: coordinator at %s did not confirm the partial protocol (not a root, or too old)", l.Root)}
+			"transport: coordinator at %s did not confirm the partial protocol (not a tree parent, or too old)", addr)}
 	}
 	if w.Codec != wire.CodecBinary {
-		return false, false, errFatal{errors.New("transport: root accepted partials without the binary codec")}
+		return false, false, errFatal{errors.New("transport: parent accepted partials without the binary codec")}
 	}
 	if *rootToken == "" {
 		*rootToken = w.Token
 	} else if w.Token != *rootToken {
-		return false, false, errFatal{errors.New("transport: root session token changed mid-federation")}
+		return false, false, errFatal{errors.New("transport: parent session token changed mid-federation")}
 	}
+	// The settled version governs this link: v2 enables degraded partials
+	// and the extension frame; v1 (or an old parent leaving the field 0)
+	// keeps the legacy exchange.
+	v2 := w.PartialV >= 2
+	s.degradeOK = v2
 
 	for {
 		f, err := wire.ReadFrame(br, clientFrameBudget)
 		if err != nil {
 			return progressed, false, stopErr(fmt.Errorf("transport: leaf %d reading round frame: %w", l.ID, err))
 		}
+		var round int
 		switch f.Type {
 		case wire.MsgDone:
 			f.Release()
 			return progressed, true, nil
 		case wire.MsgRound:
-			round, durable, params, derr := wire.DecodeRound(f.Payload)
+			r, durable, params, derr := wire.DecodeRound(f.Payload)
 			f.Release()
 			if derr != nil {
 				return progressed, false, errFatal{fmt.Errorf("transport: leaf %d decoding round frame: %w", l.ID, derr)}
 			}
-			// The root's broadcast is this round's center; its durable
+			// The parent's broadcast is this round's center; its durable
 			// announce passes through so shard clients bound their
-			// rollback captures against the root's snapshots.
+			// rollback captures against the root's snapshots. A v1 round
+			// frame carries no tree directive, so none is in force.
 			s.global = params
 			s.durable = durable
-			if rerr := s.runRound(round); rerr != nil {
-				// Local quorum loss (or any round failure) is fatal: a
-				// leaf that cannot cover its shard leaves the tree and
-				// lets the root's quorum accounting decide.
-				return progressed, false, errFatal{rerr}
+			s.treeFrac, s.treeSeed, s.sketchCap = 0, 0, 0
+			round = r
+		case wire.MsgRound2:
+			r2, derr := wire.DecodeRound2(f.Payload)
+			f.Release()
+			if derr != nil {
+				return progressed, false, errFatal{fmt.Errorf("transport: leaf %d decoding round frame: %w", l.ID, derr)}
 			}
-			buf := wire.GetBuffer(wire.HeaderLen + wire.PartialPayloadLen(len(s.partial.Sum)))[:0]
-			buf = wire.AppendPartialFrame(buf, s.partial)
-			_, werr := conn.Write(buf)
-			wire.PutBuffer(buf)
-			if werr != nil {
-				return progressed, false, stopErr(fmt.Errorf("transport: leaf %d sending partial: %w", l.ID, werr))
-			}
-			progressed = true
+			s.global = r2.Params
+			s.durable = r2.Durable
+			s.treeFrac, s.treeSeed, s.sketchCap = r2.SampleFrac, r2.SampleSeed, r2.SketchCap
+			round = r2.Round
 		default:
 			f.Release()
-			return progressed, false, errFatal{fmt.Errorf("transport: leaf %d: unexpected frame type %d from root", l.ID, f.Type)}
+			return progressed, false, errFatal{fmt.Errorf("transport: leaf %d: unexpected frame type %d from parent", l.ID, f.Type)}
 		}
+		if rerr := s.runRound(round); rerr != nil {
+			// Unrecoverable round failure (quorum loss on a v1 link, local
+			// coverage floor, ...): the node leaves the tree and lets the
+			// parent's coverage accounting decide.
+			return progressed, false, errFatal{rerr}
+		}
+		var buf []byte
+		if v2 {
+			k := 0
+			if s.partial.Sketch != nil {
+				k = len(s.partial.Sketch.Keys)
+			}
+			buf = wire.GetBuffer(wire.HeaderLen + wire.Partial2PayloadLen(len(s.partial.Sum), k, s.partial.Sketch != nil))[:0]
+			buf = wire.AppendPartial2Frame(buf, s.partial)
+		} else {
+			buf = wire.GetBuffer(wire.HeaderLen + wire.PartialPayloadLen(len(s.partial.Sum)))[:0]
+			buf = wire.AppendPartialFrame(buf, s.partial)
+		}
+		// One Write per frame: a connection cut mid-call tears the frame
+		// on the wire, which the parent's byte-budgeted reader discards
+		// whole (the torn-frame chaos tests depend on this).
+		_, werr := conn.Write(buf)
+		wire.PutBuffer(buf)
+		if werr != nil {
+			return progressed, false, stopErr(fmt.Errorf("transport: leaf %d sending partial: %w", l.ID, werr))
+		}
+		progressed = true
 	}
 }

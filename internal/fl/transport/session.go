@@ -61,6 +61,29 @@ type session struct {
 	// scoring on a buffered leaf measures deviations against.
 	leafMean []float64
 
+	// treeFrac/treeSeed/sketchCap hold the parent's per-round tree
+	// directive (MsgRound2): the sampling fraction and seed client-facing
+	// shards apply, and the row-reservoir capacity partials carry. A root
+	// sources the directive from its own configuration; leaves overwrite
+	// these from each round frame (zeroed again on v1 round frames).
+	treeFrac  float64
+	treeSeed  int64
+	sketchCap int
+	// degradeOK marks a leaf whose parent speaks partial v2: losing local
+	// quorum with at least one valid update forwards a degraded partial
+	// (coverage metadata intact) instead of failing the subtree.
+	degradeOK bool
+	// plannedWeight/coveredWeight accumulate one round's planned versus
+	// delivered cohort weight; their ratio is the round's coverage.
+	plannedWeight, coveredWeight float64
+	// sketch is the round's row reservoir: client rows on a client-facing
+	// shard, merged child reservoirs on interior nodes and the robust
+	// root. Nil when the tree needs no rows (mean-family rules).
+	sketch *robust.Sketch
+	// lastCoverage is the most recent round's coverage (1 until a round
+	// tracks any); snapshots persist it for operator forensics.
+	lastCoverage float64
+
 	// peakInflight is the largest number of simultaneously admitted
 	// exchanges the most recent streaming round reached.
 	peakInflight int
@@ -91,8 +114,8 @@ func (c *Coordinator) streamingAccumulator() (fl.Accumulator, bool) {
 // when the rejoin accept loop owns it.
 func (c *Coordinator) RunWithListener(ln net.Listener, ready func(boundAddr string)) ([]float64, error) {
 	if c.AcceptPartials {
-		if _, ok := c.streamingAccumulator(); !ok || c.Robust != nil {
-			return nil, errors.New("transport: partial aggregation requires a streaming weighted-mean configuration (no observers, reputation, robust rule, or forced buffering)")
+		if c.BufferRounds || len(c.Observers) > 0 || c.Reputation != nil {
+			return nil, errors.New("transport: partial aggregation supports no observers, reputation, or forced buffering")
 		}
 		if c.Codec != wire.CodecBinary {
 			return nil, errors.New("transport: partial aggregation requires the binary codec")
@@ -128,14 +151,17 @@ func (c *Coordinator) RunWithListener(ln net.Listener, ready func(boundAddr stri
 		token = t
 	}
 	s := &session{
-		c:          c,
-		global:     global,
-		failCounts: failCounts,
-		durable:    startRound - 1,
-		token:      token,
-		resumed:    c.Restore != nil,
+		c:            c,
+		global:       global,
+		failCounts:   failCounts,
+		durable:      startRound - 1,
+		token:        token,
+		resumed:      c.Restore != nil,
+		lastCoverage: 1,
 	}
-	if acc, ok := c.streamingAccumulator(); ok {
+	// A robust tree root cannot stream: the rule needs the merged row
+	// reservoir, so partials are buffered and tallied into the sketch.
+	if acc, ok := c.streamingAccumulator(); ok && !(c.AcceptPartials && c.Robust != nil) {
 		s.acc = acc
 		if f, isMean := acc.(*fl.Fold); isMean {
 			s.fold = f
@@ -157,6 +183,7 @@ func (c *Coordinator) RunWithListener(ln net.Listener, ready func(boundAddr stri
 		snap := &checkpoint.Snapshot{Token: token}
 		snap.State.NextRound = nextRound
 		snap.State.Global = append([]float64(nil), s.global...)
+		snap.State.LastCoverage = s.lastCoverage
 		if len(s.failCounts) > 0 {
 			snap.State.FailCounts = make(map[int]int, len(s.failCounts))
 			for id, n := range s.failCounts {
@@ -348,7 +375,7 @@ func (s *session) admitPending(round int) {
 // synchronous protocol simply leaves those clients blocked on their next
 // read until a later round samples them.
 func (s *session) sampleCohort(round int, eligible []*clientConn) (cohort, idle []*clientConn) {
-	f := s.c.SampleFraction
+	f, seed := s.effectiveSample()
 	if f <= 0 || f >= 1 || len(eligible) < 2 {
 		return eligible, nil
 	}
@@ -365,7 +392,7 @@ func (s *session) sampleCohort(round int, eligible []*clientConn) (cohort, idle 
 	// Per-round stateless derivation: mixing the round index into the
 	// seed (SplitMix64's increment) gives every round an independent
 	// stream with no sampler state to checkpoint.
-	src := rng.NewSource(int64(uint64(s.c.SampleSeed) ^ (uint64(round)+1)*0x9E3779B97F4A7C15))
+	src := rng.NewSource(int64(uint64(seed) ^ (uint64(round)+1)*0x9E3779B97F4A7C15))
 	r := rand.New(src)
 	type keyed struct {
 		key float64
@@ -402,6 +429,96 @@ func (s *session) sampleCohort(round int, eligible []*clientConn) (cohort, idle 
 	return cohort, idle
 }
 
+// effectiveSample resolves which cohort-sampling directive this node
+// applies locally. A tree parent never thins its child aggregators — the
+// directive rides MsgRound2 and is applied by the client-facing shards,
+// each mixing its leaf ID into the distributed seed so sibling shards
+// draw independent cohorts from one root-coordinated fraction. Everything
+// else samples from local configuration.
+func (s *session) effectiveSample() (frac float64, seed int64) {
+	if s.c.AcceptPartials {
+		return 0, 0
+	}
+	if s.wantPartial && s.treeFrac > 0 {
+		return s.treeFrac, s.treeSeed ^ int64(robust.KeyLeaf(s.leafID))
+	}
+	return s.c.SampleFraction, s.c.SampleSeed
+}
+
+// distSample is the sampling directive a tree parent broadcasts to its
+// partial-v2 children this round: the root's own configuration, relayed
+// unchanged by interior nodes so the whole tree acts on one directive.
+func (s *session) distSample() (frac float64, seed int64) {
+	if s.wantPartial {
+		return s.treeFrac, s.treeSeed
+	}
+	return s.c.SampleFraction, s.c.SampleSeed
+}
+
+// distSketchCap is the row-reservoir capacity in force this round: the
+// parent's directive on leaves and interior nodes, the configured
+// capacity at the root. It sizes the local reservoir, the inbound partial
+// byte budget, and the capacity distributed onward.
+func (s *session) distSketchCap() int {
+	if s.wantPartial {
+		return s.sketchCap
+	}
+	return s.c.treeSketchCap()
+}
+
+// tallyUpdate credits one accepted client update to the round's coverage
+// ledger (its fold weight counts as both planned and delivered) and, when
+// the round carries a row reservoir, retains the update as a client-keyed
+// sketch row.
+func (s *session) tallyUpdate(u fl.Update) {
+	w := float64(u.NumSamples)
+	if w <= 0 {
+		w = 1
+	}
+	s.plannedWeight += w
+	s.coveredWeight += w
+	if s.sketch != nil {
+		s.sketch.Add(robust.KeyClient(u.ClientID), u.Params)
+	}
+}
+
+// tallyPartial credits one accepted child partial: planned weight is the
+// child's own expectation (falling back to its delivered weight when the
+// child predates coverage metadata), delivered weight is what arrived.
+// Child reservoirs merge into the local one; a sketchless (v1) child
+// contributes its implied mean as a single leaf-keyed row, so robust
+// rules still see every subtree.
+func (s *session) tallyPartial(p fl.Partial) error {
+	expect := p.ExpectWeight
+	if expect <= 0 {
+		expect = p.Weight
+	}
+	s.plannedWeight += expect
+	s.coveredWeight += p.Weight
+	if s.sketch == nil {
+		return nil
+	}
+	if p.Sketch != nil {
+		return s.sketch.Merge(p.Sketch)
+	}
+	row := make([]float64, len(p.Sum))
+	for i, v := range p.Sum {
+		row[i] = v / p.Weight
+	}
+	s.sketch.Add(robust.KeyLeaf(p.LeafID), row)
+	return nil
+}
+
+// stampPartial finishes the round's outgoing partial with the v2
+// extension fields: the planned (pre-failure) cohort weight, the
+// degradation flag, and the round's row reservoir. A v1 parent link
+// simply never encodes them.
+func (s *session) stampPartial(degraded bool) {
+	s.partial.ExpectWeight = s.plannedWeight
+	s.partial.Degraded = degraded
+	s.partial.Sketch = s.sketch
+}
+
 // runRound executes one communication round over the current roster:
 // admit parked rejoiners, split out quarantined clients, sample the
 // cohort, exchange (streaming or buffered), enforce quorum, aggregate,
@@ -435,18 +552,47 @@ func (s *session) runRound(round int) error {
 	}
 	cohort, idle := s.sampleCohort(round, eligible)
 
+	s.plannedWeight, s.coveredWeight = 0, 0
+	s.sketch = nil
+	distCap := s.distSketchCap()
+	if distCap > 0 {
+		s.sketch = robust.NewSketch(distCap)
+	}
+	budget := c.updateBudget()
+	if c.AcceptPartials {
+		budget = c.partialBudget(distCap)
+	}
 	rc := &roundCtx{
 		round: round, durable: s.durable, global: s.global,
-		timeout: c.RoundTimeout, budget: c.updateBudget(),
+		timeout: c.RoundTimeout, budget: budget,
 		maxNorm: c.MaxUpdateNorm, met: c.Metrics,
 	}
+	if c.AcceptPartials {
+		frac, seed := s.distSample()
+		rc.r2 = wire.Round2{SampleFrac: frac, SampleSeed: seed, SketchCap: distCap}
+	}
+	var wantV1, wantV2 bool
 	for _, cc := range cohort {
-		if cc.binary {
-			buf := wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(s.global)))[:0]
-			rc.bcast = wire.AppendRoundFrame(buf, round, s.durable, s.global)
-			defer wire.PutBuffer(rc.bcast)
-			break
+		if !cc.binary {
+			continue
 		}
+		if cc.partialV >= 2 {
+			wantV2 = true
+		} else {
+			wantV1 = true
+		}
+	}
+	if wantV1 {
+		buf := wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(s.global)))[:0]
+		rc.bcast = wire.AppendRoundFrame(buf, round, s.durable, s.global)
+		defer wire.PutBuffer(rc.bcast)
+	}
+	if wantV2 {
+		r2 := rc.r2
+		r2.Round, r2.Durable, r2.Params = round, s.durable, s.global
+		buf := wire.GetBuffer(wire.HeaderLen + wire.Round2PayloadLen(len(s.global)))[:0]
+		rc.bcast2 = wire.AppendRound2Frame(buf, r2)
+		defer wire.PutBuffer(rc.bcast2)
 	}
 
 	var (
@@ -467,20 +613,40 @@ func (s *session) runRound(round int) error {
 		heldPeak = s.peakInflight
 	} else {
 		var ffs []fl.ClientFailure
+		var nPartials int
 		var err error
-		survivors, valid, ffs, err = s.runBuffered(rc, cohort)
+		survivors, valid, nPartials, ffs, err = s.runBuffered(rc, cohort)
 		if err != nil {
 			return err
 		}
 		failures = append(failures, ffs...)
-		nValid = len(valid)
+		nValid = len(valid) + nPartials
 		heldPeak = len(cohort)
 	}
 	s.active = append(append(survivors, idle...), blocked...)
 	sort.Slice(s.active, func(i, j int) bool { return s.active[i].id < s.active[j].id })
+	degraded := false
 	if nValid < c.quorum() {
-		return fmt.Errorf("transport: round %d: quorum lost: %d valid updates, need %d",
-			round, nValid, c.quorum())
+		if !(s.wantPartial && s.degradeOK && nValid >= 1) {
+			return fmt.Errorf("transport: round %d: quorum lost: %d valid updates, need %d",
+				round, nValid, c.quorum())
+		}
+		// Graceful degradation: the parent speaks partial v2, so a
+		// below-quorum shard forwards what it has — flagged Degraded, its
+		// planned weight intact — instead of stalling or leaving the tree.
+		degraded = true
+	}
+	coverage := 1.0
+	if s.plannedWeight > 0 {
+		coverage = s.coveredWeight / s.plannedWeight
+	}
+	s.lastCoverage = coverage
+	if c.AcceptPartials {
+		c.RoundMetrics.RecordRoundCoverage(coverage)
+		if c.CoverageFloor > 0 && coverage < c.CoverageFloor {
+			return fmt.Errorf("transport: round %d: coverage %.4f below floor %.4f (%.1f of %.1f planned cohort weight arrived)",
+				round, coverage, c.CoverageFloor, s.coveredWeight, s.plannedWeight)
+		}
 	}
 	c.RoundMetrics.RecordRoundPeakUpdateBytes(uint64(heldPeak) * 8 * uint64(len(s.global)))
 
@@ -488,6 +654,7 @@ func (s *session) runRound(round int) error {
 	if s.acc != nil {
 		if s.wantPartial {
 			s.partial = s.fold.PartialView(s.leafID, round)
+			s.stampPartial(degraded)
 			report = robust.Report{Contributors: nValid}
 		} else {
 			agg, rep, err := s.acc.Finalize()
@@ -497,6 +664,17 @@ func (s *session) runRound(round int) error {
 			s.global = agg
 			report = rep
 		}
+	} else if c.AcceptPartials {
+		// Robust tree root: the rule runs over the merged row reservoir —
+		// exact per-client rows while the tree's total stays within the
+		// sketch capacity, a uniform K-subsample (documented rank bound)
+		// above it. Subtree-level quorum was already enforced on nValid.
+		agg, rep, err := c.Robust.Aggregate(s.global, s.sketch.RowsView(), nil)
+		if err != nil {
+			return fmt.Errorf("transport: round %d: %w", round, err)
+		}
+		s.global = agg
+		report = rep
 	} else {
 		snapshot := make([]float64, len(s.global))
 		copy(snapshot, s.global)
@@ -516,6 +694,7 @@ func (s *session) runRound(round int) error {
 				}
 			}
 			s.partial = s.fold.PartialView(s.leafID, round)
+			s.stampPartial(degraded)
 			report = robust.Report{Contributors: nValid}
 			if c.Reputation != nil {
 				if len(s.leafMean) != len(s.global) {
@@ -584,6 +763,17 @@ func (s *session) classifyFailure(cc *clientConn, round int, err error) fl.Clien
 			c.Reputation.ObserveViolation(cc.id)
 		}
 	}
+	// The failed member's registered weight was planned but never arrives,
+	// pulling the round's coverage below 1; losing a partial child means a
+	// whole subtree dropped out mid-round.
+	w := float64(cc.samples)
+	if w <= 0 {
+		w = 1
+	}
+	s.plannedWeight += w
+	if cc.partial {
+		c.RoundMetrics.RecordTreeShardLost()
+	}
 	s.failCounts[cc.id]++
 	return fl.ClientFailure{ClientID: cc.id, Round: round, Reason: reason, Err: err}
 }
@@ -591,26 +781,33 @@ func (s *session) classifyFailure(cc *clientConn, round int, err error) fl.Clien
 // runBuffered is the legacy round body: every cohort member exchanges
 // concurrently, every update is materialized, and classification happens
 // afterwards in roster order. Configurations that need the full update
-// column (Median/TrimmedMean, observers, reputation) use it; its memory
-// is inherently O(cohort × params), so MaxBufferedUpdates turns a
-// silent OOM into an explicit error.
-func (s *session) runBuffered(rc *roundCtx, cohort []*clientConn) (survivors []*clientConn, valid []fl.Update, failures []fl.ClientFailure, err error) {
+// column (Median/TrimmedMean, observers, reputation) use it — including
+// the robust tree root, whose partial children are tallied into the round
+// sketch here (nPartials counts them toward quorum). Its memory is
+// inherently O(cohort × params), so MaxBufferedUpdates turns a silent
+// OOM into an explicit error.
+func (s *session) runBuffered(rc *roundCtx, cohort []*clientConn) (survivors []*clientConn, valid []fl.Update, nPartials int, failures []fl.ClientFailure, err error) {
 	c := s.c
 	if c.MaxBufferedUpdates > 0 && len(cohort) > c.MaxBufferedUpdates {
-		return nil, nil, nil, fmt.Errorf(
+		return nil, nil, 0, nil, fmt.Errorf(
 			"transport: round %d: cohort of %d exceeds MaxBufferedUpdates %d (this configuration buffers the full update column; shrink the cohort or switch to a streaming-capable rule)",
 			rc.round, len(cohort), c.MaxBufferedUpdates)
 	}
 	rc.met.inflight(len(cohort))
 	defer rc.met.inflight(0)
 	updates := make([]fl.Update, len(cohort))
+	parts := make([]fl.Partial, len(cohort))
 	errs := make([]error, len(cohort))
 	var wg sync.WaitGroup
 	for i, cc := range cohort {
 		wg.Add(1)
 		go func(i int, cc *clientConn) {
 			defer wg.Done()
-			errs[i] = cc.exchange(rc, &updates[i])
+			if cc.partial {
+				errs[i] = cc.exchangePartial(rc, &parts[i])
+			} else {
+				errs[i] = cc.exchange(rc, &updates[i])
+			}
 		}(i, cc)
 	}
 	wg.Wait()
@@ -618,17 +815,27 @@ func (s *session) runBuffered(rc *roundCtx, cohort []*clientConn) (survivors []*
 	valid = make([]fl.Update, 0, len(cohort))
 	survivors = make([]*clientConn, 0, len(cohort))
 	for i, cc := range cohort {
-		if err := errs[i]; err != nil {
+		err := errs[i]
+		if err == nil && cc.partial {
+			err = s.tallyPartial(parts[i])
+		}
+		if err != nil {
 			if !c.faultTolerant() {
-				return nil, nil, nil, err
+				return nil, nil, 0, nil, err
 			}
 			failures = append(failures, s.classifyFailure(cc, rc.round, err))
 			continue
 		}
-		valid = append(valid, updates[i])
+		if cc.partial {
+			rc.met.partialAccepted()
+			nPartials++
+		} else {
+			s.tallyUpdate(updates[i])
+			valid = append(valid, updates[i])
+		}
 		survivors = append(survivors, cc)
 	}
-	return survivors, valid, failures, nil
+	return survivors, valid, nPartials, failures, nil
 }
 
 // runStream executes one round's exchanges through the bounded streaming
@@ -735,10 +942,16 @@ func (s *session) runStream(rc *roundCtx, cohort []*clientConn) (survivors []*cl
 			if cc.partial {
 				sl.err = s.acc.FoldPartial(sl.p)
 				if sl.err == nil {
+					sl.err = s.tallyPartial(sl.p)
+				}
+				if sl.err == nil {
 					rc.met.partialAccepted()
 				}
 			} else {
 				sl.err = s.acc.Fold(sl.u)
+				if sl.err == nil {
+					s.tallyUpdate(sl.u)
+				}
 			}
 		}
 		if sl.err == nil {

@@ -101,6 +101,12 @@ type hello struct {
 	// confirmation, so a leaf dialing a non-root fails loudly instead of
 	// being silently treated as a plain client.
 	Partial bool
+	// PartialV offers a partial-protocol version alongside Partial: 2
+	// adds coverage metadata, graceful degradation, robust sketches, and
+	// the MsgRound2 broadcast. 0 (old leaves — gob drops the field) and 1
+	// both mean the original MsgPartial exchange. The coordinator answers
+	// with the settled version, never above the offer.
+	PartialV int
 }
 
 // welcome is the coordinator's response to a valid hello.
@@ -124,6 +130,10 @@ type welcome struct {
 	// Partial confirms the partial-aggregation protocol: this coordinator
 	// is a root that will read MsgPartial answers from the peer.
 	Partial bool
+	// PartialV is the settled partial-protocol version (≤ the hello's
+	// offer; 0 decodes as 1 for old roots, keeping new leaves on the v1
+	// exchange against them).
+	PartialV int
 }
 
 type roundMsg struct {
@@ -278,14 +288,30 @@ type Coordinator struct {
 	// derived statelessly from (SampleSeed, round), so a restarted
 	// coordinator resumes the same cohort schedule.
 	SampleSeed int64
-	// AcceptPartials runs the coordinator as the root of a hierarchical
-	// tier: every roster connection must be a leaf aggregator (hello with
-	// Partial over the binary codec), each round reads one MsgPartial per
-	// leaf, and the global advances by the weighted mean of the leaves'
-	// pre-division sums. Requires a streaming weighted-mean configuration
-	// (no observers, reputation, robust rule, or forced buffering) and
-	// Codec "binary".
+	// AcceptPartials runs the coordinator as an aggregation-tree parent:
+	// every roster connection must be a child aggregator (hello with
+	// Partial over the binary codec), each round reads one partial per
+	// child, and the global advances by the weighted mean of the
+	// children's pre-division sums — or, when Robust is set, by the
+	// robust rule evaluated over the children's merged row sketches.
+	// Requires Codec "binary" and no observers, reputation, or forced
+	// buffering. Children may themselves be AcceptPartials coordinators
+	// (interior nodes), making the tree arbitrary-depth.
 	AcceptPartials bool
+	// CoverageFloor, when in (0, 1], aborts a round whose coverage — the
+	// fraction of the planned cohort weight that actually reached the
+	// aggregate — falls below it. Degraded subtrees and lost shards pull
+	// coverage down; the floor turns "quietly aggregate whatever arrived"
+	// into an explicit operator policy. 0 accepts any covered fraction
+	// that satisfies MinQuorum.
+	CoverageFloor float64
+	// TreeSketchCap is the per-subtree row-reservoir capacity (K) for
+	// robust tree aggregation: child aggregators retain at most K client
+	// rows each round and the root evaluates Robust over the merged
+	// reservoir. ≤ 0 defaults to 64 when AcceptPartials && Robust != nil.
+	// Results are exact below K total rows and within the documented DKW
+	// rank bound above it (robust.SampleRankError).
+	TreeSketchCap int
 	// AcceptRejoins keeps the listener accepting after the federation
 	// starts: newcomers are handshaked, parked, and admitted into the
 	// roster at the next round boundary (replacing any dead same-ID
@@ -347,6 +373,34 @@ func (c *Coordinator) updateBudget() int64 {
 	return 64<<10 + 16*int64(len(c.Initial))
 }
 
+// partialBudget is the per-partial receive allowance: the update budget
+// widened by the worst-case size of a sketch at the distributed capacity
+// (K keys at 8 bytes plus K rows of 8·params each).
+func (c *Coordinator) partialBudget(sketchCap int) int64 {
+	b := c.updateBudget()
+	if sketchCap > 0 {
+		b += int64(sketchCap)*8*int64(len(c.Initial)+1) + 1024
+	}
+	return b
+}
+
+// treeSketchCap is the row-reservoir capacity this parent distributes to
+// its partial-v2 children: the configured TreeSketchCap, defaulting to 64
+// when a robust rule needs rows at all, and 0 (no sketches) for
+// mean-family trees.
+func (c *Coordinator) treeSketchCap() int {
+	if !c.AcceptPartials {
+		return 0
+	}
+	if c.TreeSketchCap > 0 {
+		return c.TreeSketchCap
+	}
+	if c.Robust != nil {
+		return 64
+	}
+	return 0
+}
+
 type clientConn struct {
 	id      int
 	samples int
@@ -365,8 +419,11 @@ type clientConn struct {
 	binary bool
 	cfg    compress.Config
 	// partial marks a leaf-aggregator session: rounds exchange MsgPartial
-	// frames instead of updates.
-	partial bool
+	// frames instead of updates. partialV is the settled protocol version
+	// (1 or 2); v2 children receive MsgRound2 broadcasts and may answer
+	// with MsgPartial2 (coverage metadata + sketch).
+	partial  bool
+	partialV int
 	// hadToken records whether the hello carried a session token (feeds
 	// the rejoin counter on resumed federations).
 	hadToken bool
@@ -456,12 +513,16 @@ func decodeUpdateFrame(r io.Reader, lim *budgetReader, budget int64, accepted co
 // roundCtx carries one round's shared exchange parameters. bcast, when
 // non-nil, is the pre-encoded MsgRound frame shared read-only by every
 // binary connection — the per-round encoding cost is paid once, not per
-// client.
+// client. bcast2 is its MsgRound2 twin for partial-v2 children, carrying
+// the root-coordinated sample directive and sketch capacity (r2 holds the
+// decoded form for the per-connection fallback encode).
 type roundCtx struct {
 	round   int
 	durable int
 	global  []float64
 	bcast   []byte
+	bcast2  []byte
+	r2      wire.Round2
 	timeout time.Duration
 	budget  int64
 	maxNorm float64
@@ -494,12 +555,22 @@ func (cc *clientConn) exchange(rc *roundCtx, out *fl.Update) error {
 	return nil
 }
 
-// sendRound writes the MsgRound frame for a binary session, preferring
-// the round's shared broadcast bytes over a per-connection encode.
+// sendRound writes the round frame for a binary session, preferring the
+// round's shared broadcast bytes over a per-connection encode. Partial-v2
+// children get the MsgRound2 broadcast (sampling directive + sketch cap);
+// everyone else gets the v1 MsgRound.
 func (cc *clientConn) sendRound(rc *roundCtx) error {
 	buf := rc.bcast
 	var pooled []byte
-	if buf == nil {
+	if cc.partialV >= 2 {
+		if buf = rc.bcast2; buf == nil {
+			r2 := rc.r2
+			r2.Round, r2.Durable, r2.Params = rc.round, rc.durable, rc.global
+			pooled = wire.GetBuffer(wire.HeaderLen + wire.Round2PayloadLen(len(rc.global)))[:0]
+			pooled = wire.AppendRound2Frame(pooled, r2)
+			buf = pooled
+		}
+	} else if buf == nil {
 		pooled = wire.GetBuffer(wire.HeaderLen + wire.RoundPayloadLen(len(rc.global)))[:0]
 		pooled = wire.AppendRoundFrame(pooled, rc.round, rc.durable, rc.global)
 		buf = pooled
@@ -558,11 +629,16 @@ func (cc *clientConn) exchangePartial(rc *roundCtx, out *fl.Partial) error {
 		return fmt.Errorf("transport: reading partial from leaf %d: %w", cc.id, err)
 	}
 	defer f.Release()
-	if f.Type != wire.MsgPartial {
+	var p fl.Partial
+	switch {
+	case f.Type == wire.MsgPartial:
+		p, err = wire.DecodePartial(f.Payload)
+	case f.Type == wire.MsgPartial2 && cc.partialV >= 2:
+		p, err = wire.DecodePartial2(f.Payload)
+	default:
 		return fmt.Errorf("transport: round %d: %w", rc.round,
-			errInvalid{fmt.Errorf("wire: expected partial frame, got type %d", f.Type)})
+			errInvalid{fmt.Errorf("wire: expected partial frame, got type %d (v%d session)", f.Type, cc.partialV)})
 	}
-	p, err := wire.DecodePartial(f.Payload)
 	if err != nil {
 		return fmt.Errorf("transport: round %d: %w", rc.round, errInvalid{err})
 	}
@@ -668,6 +744,14 @@ func (c *Coordinator) handshake(conn net.Conn, token string, rxTally, txTally *u
 	cc.binary = binary
 	cc.cfg = cfg
 	cc.partial = partial
+	if partial {
+		// Settle the partial version at min(offer, 2); 0 offers come from
+		// pre-PartialV leaves and mean v1.
+		cc.partialV = 1
+		if h.PartialV >= 2 {
+			cc.partialV = 2
+		}
+	}
 	cc.hadToken = h.Token != ""
 	return cc, nil
 }
@@ -685,6 +769,7 @@ func (c *Coordinator) welcomeFor(cc *clientConn, w welcome) welcome {
 		}
 	}
 	w.Partial = cc.partial
+	w.PartialV = cc.partialV
 	return w
 }
 

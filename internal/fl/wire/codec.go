@@ -7,6 +7,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/compress"
+	"github.com/cip-fl/cip/internal/fl/robust"
 )
 
 // Payload codecs. Layouts (little-endian throughout):
@@ -49,14 +50,54 @@ import (
 //	n       uint32  (parameter count)
 //	sum     n × float64 (weighted parameter sums Σ w·v)
 //
+// Partial v2 (MsgPartial2, mode always None) — the v1 fields plus
+// coverage metadata and an optional mergeable row sketch (negotiated by
+// the hello/welcome PartialV capability):
+//
+//	round   uint32
+//	leafID  uint32
+//	count   uint32
+//	flags   uint32  (bit0 = degraded, bit1 = sketch present)
+//	weight  float64
+//	expect  float64 (the subtree's planned cohort weight this round)
+//	n       uint32
+//	sum     n × float64
+//	sketch (only when flags bit1):
+//	  cap  uint32
+//	  rows uint32  (total rows the sketch represents)
+//	  k    uint32  (retained rows; keys sorted ascending)
+//	  keys k × uint64
+//	  vals k × n × float64
+//
+// Round v2 (MsgRound2, mode always None) — the round broadcast an
+// aggregator sends its partial-v2 children, carrying the root-coordinated
+// shard-sampling directive and sketch capacity alongside the v1 fields:
+//
+//	round      uint32
+//	durable    int32
+//	sampleFrac float64
+//	sampleSeed uint64
+//	sketchCap  uint32
+//	n          uint32
+//	params     n × float64
+//
 // Every decoder validates the exact size arithmetic before touching the
 // body, allocates nothing larger than ~8× the received payload, and runs
 // under a panic guard — the update path parses attacker-controlled bytes.
 
 const (
-	roundHeadLen   = 12
-	updateHeadLen  = 20
-	partialHeadLen = 24
+	roundHeadLen    = 12
+	updateHeadLen   = 20
+	partialHeadLen  = 24
+	partial2HeadLen = 36
+	sketchHeadLen   = 12
+	round2HeadLen   = 32
+)
+
+// Partial2 flag bits.
+const (
+	partial2Degraded  = 1 << 0
+	partial2HasSketch = 1 << 1
 )
 
 func appendU32(dst []byte, v uint32) []byte {
@@ -78,7 +119,14 @@ func appendF64s(dst []byte, vs []float64) []byte {
 	return dst
 }
 
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
 func getU32(b []byte) uint32  { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64  { return binary.LittleEndian.Uint64(b) }
 func getF64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
 
 // RoundPayloadLen returns the round payload size for n parameters.
@@ -158,6 +206,171 @@ func DecodePartial(payload []byte) (p fl.Partial, err error) {
 		p.Sum[i] = getF64(payload[partialHeadLen+8*i:])
 	}
 	return p, nil
+}
+
+// Partial2PayloadLen returns the v2 partial payload size for n parameters
+// and k retained sketch rows (k is ignored when the sketch is absent).
+func Partial2PayloadLen(n, k int, hasSketch bool) int {
+	size := partial2HeadLen + 8*n
+	if hasSketch {
+		size += sketchHeadLen + 8*k + 8*k*n
+	}
+	return size
+}
+
+// AppendPartial2Frame appends a complete MsgPartial2 frame carrying a
+// subtree's pre-division sums, coverage metadata, and (when present) its
+// mergeable row sketch.
+func AppendPartial2Frame(dst []byte, p fl.Partial) []byte {
+	var k int
+	var flags uint32
+	if p.Degraded {
+		flags |= partial2Degraded
+	}
+	if p.Sketch != nil {
+		flags |= partial2HasSketch
+		k = len(p.Sketch.Keys)
+	}
+	dst = AppendHeader(dst, MsgPartial2, compress.None, Partial2PayloadLen(len(p.Sum), k, p.Sketch != nil))
+	dst = appendU32(dst, uint32(p.Round))
+	dst = appendU32(dst, uint32(p.LeafID))
+	dst = appendU32(dst, uint32(p.Count))
+	dst = appendU32(dst, flags)
+	dst = appendF64(dst, p.Weight)
+	dst = appendF64(dst, p.ExpectWeight)
+	dst = appendU32(dst, uint32(len(p.Sum)))
+	dst = appendF64s(dst, p.Sum)
+	if p.Sketch != nil {
+		dst = appendU32(dst, uint32(p.Sketch.Cap))
+		dst = appendU32(dst, uint32(p.Sketch.Rows))
+		dst = appendU32(dst, uint32(k))
+		for _, key := range p.Sketch.Keys {
+			dst = appendU64(dst, key)
+		}
+		for _, row := range p.Sketch.Vals {
+			dst = appendF64s(dst, row)
+		}
+	}
+	return dst
+}
+
+// DecodePartial2 parses a MsgPartial2 payload. Structural checks only
+// (exact size arithmetic, bounded allocation, panic guard); semantic
+// validation — including the sketch's sorted-keys/finiteness/row-count
+// invariants — is fl.ValidatePartial's job at the parent.
+func DecodePartial2(payload []byte) (p fl.Partial, err error) {
+	defer recoverDecode(&err)
+	if len(payload) < partial2HeadLen {
+		return fl.Partial{}, fmt.Errorf("%w: partial2 payload of %d bytes", ErrTruncated, len(payload))
+	}
+	p.Round = int(getU32(payload[0:]))
+	p.LeafID = int(getU32(payload[4:]))
+	p.Count = int(int32(getU32(payload[8:])))
+	flags := getU32(payload[12:])
+	p.Weight = getF64(payload[16:])
+	p.ExpectWeight = getF64(payload[24:])
+	p.Degraded = flags&partial2Degraded != 0
+	hasSketch := flags&partial2HasSketch != 0
+	n := int(getU32(payload[32:]))
+	// Every parameter costs ≥ 8 payload bytes, so a declared count beyond
+	// len/8 is a lie — reject before the size products below can overflow.
+	if n > len(payload)/8 {
+		return fl.Partial{}, fmt.Errorf("%w: partial2 declares %d params in %d bytes", ErrPayload, n, len(payload))
+	}
+	if !hasSketch {
+		if len(payload) != Partial2PayloadLen(n, 0, false) {
+			return fl.Partial{}, fmt.Errorf("%w: partial2 declares %d params in %d bytes, want %d",
+				ErrPayload, n, len(payload), Partial2PayloadLen(n, 0, false))
+		}
+	}
+	p.Sum = make([]float64, n)
+	for i := range p.Sum {
+		p.Sum[i] = getF64(payload[partial2HeadLen+8*i:])
+	}
+	if !hasSketch {
+		return p, nil
+	}
+	body := payload[partial2HeadLen+8*n:]
+	if len(body) < sketchHeadLen {
+		return fl.Partial{}, fmt.Errorf("%w: partial2 sketch head of %d bytes", ErrTruncated, len(body))
+	}
+	sk := &robust.Sketch{
+		Cap:  int(getU32(body[0:])),
+		Rows: int(int32(getU32(body[4:]))),
+	}
+	k := int(getU32(body[8:]))
+	if k > len(body)/8 {
+		return fl.Partial{}, fmt.Errorf("%w: partial2 sketch declares %d rows in %d bytes", ErrPayload, k, len(body))
+	}
+	if len(payload) != Partial2PayloadLen(n, k, true) {
+		return fl.Partial{}, fmt.Errorf("%w: partial2 sketch of %d×%d in %d bytes, want %d",
+			ErrPayload, k, n, len(payload), Partial2PayloadLen(n, k, true))
+	}
+	body = body[sketchHeadLen:]
+	sk.Keys = make([]uint64, k)
+	for i := range sk.Keys {
+		sk.Keys[i] = getU64(body[8*i:])
+	}
+	body = body[8*k:]
+	sk.Vals = make([][]float64, k)
+	for i := range sk.Vals {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = getF64(body[8*(i*n+j):])
+		}
+		sk.Vals[i] = row
+	}
+	p.Sketch = sk
+	return p, nil
+}
+
+// Round2 is the decoded form of a MsgRound2 broadcast: the v1 round fields
+// plus the root-coordinated shard-sampling directive and sketch capacity.
+type Round2 struct {
+	Round      int
+	Durable    int
+	SampleFrac float64
+	SampleSeed int64
+	SketchCap  int
+	Params     []float64
+}
+
+// Round2PayloadLen returns the v2 round payload size for n parameters.
+func Round2PayloadLen(n int) int { return round2HeadLen + 8*n }
+
+// AppendRound2Frame appends a complete MsgRound2 frame.
+func AppendRound2Frame(dst []byte, r Round2) []byte {
+	dst = AppendHeader(dst, MsgRound2, compress.None, Round2PayloadLen(len(r.Params)))
+	dst = appendU32(dst, uint32(r.Round))
+	dst = appendU32(dst, uint32(int32(r.Durable)))
+	dst = appendF64(dst, r.SampleFrac)
+	dst = appendU64(dst, uint64(r.SampleSeed))
+	dst = appendU32(dst, uint32(r.SketchCap))
+	dst = appendU32(dst, uint32(len(r.Params)))
+	return appendF64s(dst, r.Params)
+}
+
+// DecodeRound2 parses a MsgRound2 payload.
+func DecodeRound2(payload []byte) (r Round2, err error) {
+	defer recoverDecode(&err)
+	if len(payload) < round2HeadLen {
+		return Round2{}, fmt.Errorf("%w: round2 payload of %d bytes", ErrTruncated, len(payload))
+	}
+	r.Round = int(getU32(payload[0:]))
+	r.Durable = int(int32(getU32(payload[4:])))
+	r.SampleFrac = getF64(payload[8:])
+	r.SampleSeed = int64(getU64(payload[16:]))
+	r.SketchCap = int(int32(getU32(payload[24:])))
+	n := int(getU32(payload[28:]))
+	if len(payload) != Round2PayloadLen(n) {
+		return Round2{}, fmt.Errorf("%w: round2 declares %d params in %d bytes, want %d",
+			ErrPayload, n, len(payload), Round2PayloadLen(n))
+	}
+	r.Params = make([]float64, n)
+	for i := range r.Params {
+		r.Params[i] = getF64(payload[round2HeadLen+8*i:])
+	}
+	return r, nil
 }
 
 // UpdatePayloadLen returns the update payload size for a dense length and

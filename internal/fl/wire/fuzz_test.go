@@ -9,6 +9,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/compress"
+	"github.com/cip-fl/cip/internal/fl/robust"
 )
 
 // seedGolden seeds a fuzzer with every committed golden frame, so the
@@ -88,7 +89,75 @@ func FuzzDecodeFrame(f *testing.F) {
 				// Semantic validation must classify-or-error, never panic.
 				_ = fl.ValidatePartial(p, len(p.Sum), 1e6)
 			}
+		case MsgPartial2:
+			if p, err := DecodePartial2(fr.Payload); err == nil {
+				checkPartial2Expansion(t, p, len(fr.Payload))
+				_ = fl.ValidatePartial(p, len(p.Sum), 1e6)
+			}
+		case MsgRound2:
+			if r, err := DecodeRound2(fr.Payload); err == nil {
+				if 8*len(r.Params) > len(fr.Payload) {
+					t.Fatalf("round2 decode expanded %d payload bytes to %d params",
+						len(fr.Payload), len(r.Params))
+				}
+			}
 		}
+	})
+}
+
+// checkPartial2Expansion asserts a decoded v2 partial allocated no more
+// floats than the payload itself carried (8 bytes each), sketch included.
+func checkPartial2Expansion(t *testing.T, p fl.Partial, payloadLen int) {
+	t.Helper()
+	floats := len(p.Sum)
+	if p.Sketch != nil {
+		floats += len(p.Sketch.Keys)
+		for _, row := range p.Sketch.Vals {
+			floats += len(row)
+		}
+	}
+	if 8*floats > payloadLen {
+		t.Fatalf("partial2 decode expanded %d payload bytes to %d floats", payloadLen, floats)
+	}
+}
+
+// FuzzDecodePartial hammers both partial decoders directly (no frame
+// header) — the bytes a hostile or torn leaf connection can feed the
+// root's partial exchange. Invariants: never panic, never allocate beyond
+// the payload's own size arithmetic, and semantic validation classifies
+// without panicking whatever the structural decode admits.
+func FuzzDecodePartial(f *testing.F) {
+	seedGolden(f, func(b []byte) {
+		if len(b) > HeaderLen && (b[2] == MsgPartial || b[2] == MsgPartial2) {
+			f.Add(b[2] == MsgPartial2, b[HeaderLen:])
+		}
+	})
+	f.Add(true, []byte{})
+	f.Fuzz(func(t *testing.T, v2 bool, payload []byte) {
+		if v2 {
+			p, err := DecodePartial2(payload)
+			if err != nil {
+				return
+			}
+			checkPartial2Expansion(t, p, len(payload))
+			if err := fl.ValidatePartial(p, len(p.Sum), 1e6); err == nil && p.Sketch != nil {
+				// A validated sketch must be structurally sound enough to
+				// merge without panicking.
+				m := robust.NewSketch(p.Sketch.Cap)
+				if err := m.Merge(p.Sketch); err != nil && p.Sketch.Dim() == m.Dim() {
+					t.Fatalf("validated sketch failed to merge: %v", err)
+				}
+			}
+			return
+		}
+		p, err := DecodePartial(payload)
+		if err != nil {
+			return
+		}
+		if 8*len(p.Sum) > len(payload) {
+			t.Fatalf("partial decode expanded %d payload bytes to %d sums", len(payload), len(p.Sum))
+		}
+		_ = fl.ValidatePartial(p, len(p.Sum), 1e6)
 	})
 }
 

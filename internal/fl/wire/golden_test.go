@@ -11,6 +11,7 @@ import (
 
 	"github.com/cip-fl/cip/internal/fl"
 	"github.com/cip-fl/cip/internal/fl/compress"
+	"github.com/cip-fl/cip/internal/fl/robust"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden wire fixtures")
@@ -31,11 +32,27 @@ func goldenGlobal() []float64 {
 // fixture diff instead of a silent incompatibility.
 func goldenFrames(t *testing.T) map[string][]byte {
 	t.Helper()
+	sk := robust.NewSketch(4)
+	for i := 1; i <= 3; i++ {
+		row := goldenVector()
+		for j := range row {
+			row[j] *= 0.5 * float64(i) // exact in binary floating point
+		}
+		sk.Add(robust.KeyClient(i), row)
+	}
 	frames := map[string][]byte{
 		"v1_round": AppendRoundFrame(nil, 3, 1, goldenVector()),
 		"v1_done":  AppendDoneFrame(nil),
 		"v1_partial": AppendPartialFrame(nil, fl.Partial{
 			LeafID: 2, Round: 3, Sum: goldenVector(), Weight: 40, Count: 4,
+		}),
+		"v2_partial": AppendPartial2Frame(nil, fl.Partial{
+			LeafID: 2, Round: 3, Sum: goldenVector(), Weight: 40, Count: 4,
+			ExpectWeight: 48, Degraded: true, Sketch: sk,
+		}),
+		"v2_round": AppendRound2Frame(nil, Round2{
+			Round: 3, Durable: 1, SampleFrac: 0.5, SampleSeed: 42,
+			SketchCap: 64, Params: goldenVector(),
 		}),
 	}
 	global := goldenGlobal()
@@ -146,6 +163,19 @@ func TestGoldenFramesDecode(t *testing.T) {
 		case MsgPartial:
 			if _, err := DecodePartial(f.Payload); err != nil {
 				t.Errorf("%s: DecodePartial: %v", path, err)
+			}
+		case MsgPartial2:
+			p, err := DecodePartial2(f.Payload)
+			if err != nil {
+				t.Errorf("%s: DecodePartial2: %v", path, err)
+				break
+			}
+			if err := fl.ValidatePartial(p, len(p.Sum), 0); err != nil {
+				t.Errorf("%s: ValidatePartial: %v", path, err)
+			}
+		case MsgRound2:
+			if _, err := DecodeRound2(f.Payload); err != nil {
+				t.Errorf("%s: DecodeRound2: %v", path, err)
 			}
 		}
 		f.Release()

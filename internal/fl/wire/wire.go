@@ -56,6 +56,15 @@ const (
 	// for a round (hierarchical aggregation; negotiated via the hello/
 	// welcome Partial capability, so old peers never see it).
 	MsgPartial = 4
+	// MsgPartial2 is the v2 partial: MsgPartial plus coverage metadata
+	// (expected weight, degraded flag) and an optional mergeable row
+	// sketch for robust tree aggregation. Negotiated via the hello/welcome
+	// PartialV field; v1 peers never see it.
+	MsgPartial2 = 5
+	// MsgRound2 is the v2 round broadcast sent to partial-v2 children:
+	// MsgRound plus the root-coordinated sample fraction/seed and the
+	// sketch capacity the subtree should build at.
+	MsgRound2 = 6
 )
 
 // Codec names for flag/handshake use.
@@ -114,7 +123,8 @@ func ReadFrame(r io.Reader, budget int) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d (speaking %d)", ErrVersion, hdr[1], Version)
 	}
 	typ := hdr[2]
-	if typ != MsgRound && typ != MsgUpdate && typ != MsgDone && typ != MsgPartial {
+	if typ != MsgRound && typ != MsgUpdate && typ != MsgDone && typ != MsgPartial &&
+		typ != MsgPartial2 && typ != MsgRound2 {
 		return Frame{}, fmt.Errorf("%w: %d", ErrFrameType, typ)
 	}
 	mode := compress.Mode(hdr[3])
